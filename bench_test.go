@@ -1,0 +1,432 @@
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (DESIGN.md §3 indexes them as E1–E10). Each benchmark prints
+// its rows once — so `go test -bench=. -benchmem` leaves a full set of
+// paper-style tables in the output — and reports its key quantities as
+// benchmark metrics.
+//
+// The benchmarks use the Quick() experiment windows; cmd/ncapsweep -full
+// reproduces the longer EXPERIMENTS.md measurements.
+package ncap_test
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"ncap/internal/app"
+	"ncap/internal/cluster"
+	"ncap/internal/core"
+	"ncap/internal/cpu"
+	"ncap/internal/experiments"
+	"ncap/internal/power"
+	"ncap/internal/sim"
+	"ncap/internal/stats"
+)
+
+// once-per-benchmark table printing: b.N loops must not repeat the rows.
+var printed sync.Map
+
+func printOnce(key string, fn func()) {
+	if _, dup := printed.LoadOrStore(key, true); !dup {
+		fn()
+	}
+}
+
+// E1 — Fig. 1: the V/F transition sequence, measured on the live chip
+// model (not the analytic table): time from Boost() to the new frequency
+// taking effect.
+func BenchmarkFig1_PStateTransition(b *testing.B) {
+	printOnce("fig1", func() {
+		fmt.Println("\n# E1 / Fig.1 — P-state transition timing")
+		for _, r := range experiments.Fig1() {
+			fmt.Printf("  %v -> %v (%s): ramp %.1fµs + halt %.1fµs = %.1fµs\n",
+				r.From, r.To, r.Direction, r.RampUs, r.HaltUs, r.EffectUs)
+		}
+	})
+	tab := power.DefaultTable()
+	b.ResetTimer()
+	var effect sim.Time
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		chip := cpu.New(eng, 4, tab, power.DefaultModel(), tab.Min())
+		chip.OnPStateChange(func(power.PState) { effect = eng.Now() })
+		chip.Boost()
+		eng.Run(sim.Second)
+	}
+	b.ReportMetric(effect.Micros(), "boost_µs")
+}
+
+// E2 — Fig. 2: Apache p95 latency vs ondemand invocation period.
+func BenchmarkFig2_OndemandPeriod(b *testing.B) {
+	o := experiments.Quick()
+	var rows []experiments.Fig2Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Fig2(o)
+	}
+	printOnce("fig2", func() {
+		fmt.Println("\n# E2 / Fig.2 — Apache p95 vs ondemand period")
+		for _, r := range rows {
+			fmt.Printf("  period=%-6v load=%-7s p95=%8.3fms\n", r.Period, r.Level, r.P95.Millis())
+		}
+	})
+	b.ReportMetric(rows[len(rows)-1].P95.Millis(), "p95_10ms_high_ms")
+}
+
+// E3 — Fig. 4: the network-activity / power-management correlation trace.
+func BenchmarkFig4_Correlation(b *testing.B) {
+	o := experiments.Quick()
+	var tr experiments.TraceResult
+	for i := 0; i < b.N; i++ {
+		tr = experiments.Fig4(o)
+	}
+	s := tr.Result.Sampler
+	printOnce("fig4", func() {
+		fmt.Printf("\n# E3 / Fig.4 — ond.idle correlation trace: %d samples"+
+			" (use cmd/ncaptrace for the CSV)\n", len(s.BWRx.Points))
+		fmt.Printf("  BW(Rx) max %.1f MB/s; mean util %.2f; freq range [%.1f, %.1f] GHz\n",
+			s.BWRx.Max()/1e6, meanOf(s.Util), minOf(s.Freq), s.Freq.Max())
+	})
+	b.ReportMetric(s.BWRx.Max()/1e6, "bwrx_max_MBps")
+	b.ReportMetric(meanOf(s.Util), "mean_util")
+}
+
+// E4 — Fig. 7: latency versus load and the SLA at the inflexion point.
+func BenchmarkFig7_LatencyVsLoad(b *testing.B) {
+	for _, prof := range []app.Profile{app.ApacheProfile(), app.MemcachedProfile()} {
+		prof := prof
+		b.Run(prof.Name, func(b *testing.B) {
+			o := experiments.Quick()
+			var pts []experiments.CurvePoint
+			var sla sim.Duration
+			var knee float64
+			for i := 0; i < b.N; i++ {
+				pts = experiments.LatencyVsLoad(o, prof)
+				sla, knee = experiments.FindSLA(pts)
+			}
+			printOnce("fig7-"+prof.Name, func() {
+				fmt.Printf("\n# E4 / Fig.7 — %s latency vs load (perf)\n", prof.Name)
+				for _, p := range pts {
+					fmt.Printf("  %7.0f rps  p95=%8.3fms\n", p.LoadRPS, p.P95.Millis())
+				}
+				fmt.Printf("  SLA (inflexion @ %.0f rps) = %.3fms  [paper: %v]\n",
+					knee, sla.Millis(), cluster.PaperSLA(prof.Name))
+			})
+			b.ReportMetric(sla.Millis(), "sla_ms")
+			b.ReportMetric(knee, "knee_rps")
+		})
+	}
+}
+
+// E5 — Fig. 8 (Apache) and E7 — Fig. 9 (Memcached): the seven-policy
+// comparison, normalized as in the paper.
+func benchComparison(b *testing.B, prof app.Profile, tag string) {
+	o := experiments.Quick()
+	var rows []experiments.PolicyRow
+	var sla sim.Duration
+	for i := 0; i < b.N; i++ {
+		sla, _ = experiments.MeasuredSLA(o, prof)
+		rows = experiments.Comparison(o, prof, sla)
+	}
+	printOnce(tag, func() {
+		fmt.Printf("\n# %s — measured SLA %.3fms\n", tag, sla.Millis())
+		experiments.WriteComparison(os.Stdout, prof.Name, rows)
+	})
+	for _, r := range rows {
+		if r.Policy == cluster.NcapAggr && r.Level == cluster.LowLoad {
+			b.ReportMetric(r.NormE, "ncap_aggr_low_normE")
+			b.ReportMetric(r.NormP95, "ncap_aggr_low_normP95")
+		}
+	}
+}
+
+func BenchmarkFig8_Apache(b *testing.B) { benchComparison(b, app.ApacheProfile(), "E5 / Fig.8 apache") }
+func BenchmarkFig9_Memcached(b *testing.B) {
+	benchComparison(b, app.MemcachedProfile(), "E7 / Fig.9 memcached")
+}
+
+// E6 — Fig. 8/9 right: the BW(Rx)-vs-F snapshots with INT(wake) markers.
+func BenchmarkFig8_Snapshot(b *testing.B) {
+	o := experiments.Quick()
+	var ond, ncap experiments.TraceResult
+	for i := 0; i < b.N; i++ {
+		ond, ncap = experiments.Snapshots(o, app.ApacheProfile(), cluster.LowLoad)
+	}
+	var wakes float64
+	for _, p := range ncap.Result.Sampler.Wakes.Points {
+		wakes += p.V
+	}
+	printOnce("fig8snap", func() {
+		fmt.Printf("\n# E6 / Fig.8-right — snapshots (CSV via cmd/ncaptrace -snapshot)\n")
+		fmt.Printf("  ond.idle:  freq range [%.1f, %.1f] GHz, p95=%v\n",
+			minOf(ond.Result.Sampler.Freq), ond.Result.Sampler.Freq.Max(), ond.Result.Latency.P95)
+		fmt.Printf("  ncap.cons: freq range [%.1f, %.1f] GHz, p95=%v, INT(wake)=%d\n",
+			minOf(ncap.Result.Sampler.Freq), ncap.Result.Sampler.Freq.Max(), ncap.Result.Latency.P95, int(wakes))
+	})
+	b.ReportMetric(wakes, "int_wakes")
+}
+
+// E9 — the abstract's headline energy-saving claims.
+func BenchmarkHeadline_EnergySavings(b *testing.B) {
+	for _, prof := range []app.Profile{app.ApacheProfile(), app.MemcachedProfile()} {
+		prof := prof
+		b.Run(prof.Name, func(b *testing.B) {
+			o := experiments.Quick()
+			var h experiments.HeadlineClaims
+			for i := 0; i < b.N; i++ {
+				sla, _ := experiments.MeasuredSLA(o, prof)
+				rows := experiments.Comparison(o, prof, sla)
+				h = experiments.Headline(prof.Name, sla, rows)
+			}
+			printOnce("headline-"+prof.Name, func() {
+				fmt.Printf("\n# E9 — headline claims, %s (SLA %.3fms)\n", prof.Name, h.SLA.Millis())
+				for _, r := range h.Rows {
+					fmt.Printf("  %-7s vs perf %+6.1f%%; vs best conventional (%s) %+6.1f%%; SLA met %v\n",
+						r.Level, -r.SavingVsPerfPct, r.BestConventional, -r.SavingVsBestPct, r.NcapMeetsSLA)
+				}
+			})
+			if len(h.Rows) > 0 {
+				b.ReportMetric(h.Rows[0].SavingVsPerfPct, "low_saving_vs_perf_pct")
+			}
+		})
+	}
+}
+
+// E10 — the hardware-versus-software NCAP comparison (Sec. 5/6).
+func BenchmarkNcapSW_Overhead(b *testing.B) {
+	o := experiments.Quick()
+	prof := app.MemcachedProfile()
+	var hw, sw cluster.Result
+	for i := 0; i < b.N; i++ {
+		hw = cluster.New(quickCfg(o, cluster.NcapAggr, prof, cluster.LoadRPS(prof.Name, cluster.MediumLoad))).Run()
+		sw = cluster.New(quickCfg(o, cluster.NcapSW, prof, cluster.LoadRPS(prof.Name, cluster.MediumLoad))).Run()
+	}
+	printOnce("e10", func() {
+		fmt.Printf("\n# E10 — ncap.sw vs hardware NCAP (memcached, medium)\n")
+		fmt.Printf("  hw: p95=%v energy=%.2fJ   sw: p95=%v energy=%.2fJ (sw p95 %+0.f%%)\n",
+			hw.Latency.P95, hw.EnergyJ, sw.Latency.P95, sw.EnergyJ,
+			100*float64(sw.Latency.P95-hw.Latency.P95)/float64(hw.Latency.P95))
+	})
+	b.ReportMetric(100*float64(sw.Latency.P95-hw.Latency.P95)/float64(hw.Latency.P95), "sw_p95_penalty_pct")
+}
+
+// Ablation benches for the design choices DESIGN.md §4 calls out.
+
+func BenchmarkAblation_CIT(b *testing.B) {
+	o := experiments.Quick()
+	var p experiments.AblationPair
+	for i := 0; i < b.N; i++ {
+		p = experiments.AblationCIT(o, app.MemcachedProfile(), cluster.LowLoad)
+	}
+	printOnce("abl-cit", func() {
+		fmt.Printf("\n# Ablation — CIT wake off: p95 %+.1f%%, energy %+.1f%% (wakes %d -> %d)\n",
+			p.LatencyDeltaPct, p.EnergyDeltaPct, p.With.CITWakes, p.Without.CITWakes)
+	})
+	b.ReportMetric(p.LatencyDeltaPct, "p95_delta_pct")
+}
+
+func BenchmarkAblation_ContextAware(b *testing.B) {
+	o := experiments.Quick()
+	var p experiments.AblationPair
+	for i := 0; i < b.N; i++ {
+		p = experiments.AblationContext(o)
+	}
+	printOnce("abl-ctx", func() {
+		fmt.Printf("\n# Ablation — naive rate trigger: energy %+.1f%% (stepdowns %d -> %d)\n",
+			p.EnergyDeltaPct, p.With.StepDowns, p.Without.StepDowns)
+	})
+	b.ReportMetric(p.EnergyDeltaPct, "energy_delta_pct")
+}
+
+func BenchmarkAblation_Overlap(b *testing.B) {
+	o := experiments.Quick()
+	var p experiments.AblationPair
+	for i := 0; i < b.N; i++ {
+		p = experiments.AblationOverlap(o, app.MemcachedProfile(), cluster.LowLoad)
+	}
+	printOnce("abl-ovl", func() {
+		fmt.Printf("\n# Ablation — inspect after DMA (no wake/delivery overlap): p95 %+.1f%%\n",
+			p.LatencyDeltaPct)
+	})
+	b.ReportMetric(p.LatencyDeltaPct, "p95_delta_pct")
+}
+
+func BenchmarkAblation_FCONS(b *testing.B) {
+	o := experiments.Quick()
+	var rows []experiments.FConsRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.AblationFCONS(o, app.ApacheProfile(), cluster.LowLoad)
+	}
+	printOnce("abl-fcons", func() {
+		fmt.Println("\n# Ablation — FCONS sweep (apache, low)")
+		for _, r := range rows {
+			fmt.Printf("  FCONS=%-3d p95=%8.3fms energy=%6.2fJ\n",
+				r.FCONS, r.Result.Latency.P95.Millis(), r.Result.EnergyJ)
+		}
+	})
+	b.ReportMetric(rows[len(rows)-1].Result.EnergyJ, "fcons10_energy_J")
+}
+
+// Sec. 7 extension benches: multi-queue + per-core power management, TOE.
+
+func BenchmarkExtension_MultiQueue(b *testing.B) {
+	o := experiments.Quick()
+	var rows []experiments.ExtensionRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.ExtensionMultiQueue(o, app.MemcachedProfile(), cluster.LowLoad)
+	}
+	printOnce("ext-mq", func() {
+		fmt.Println("\n# Extension — multi-queue NIC + per-core DVFS (Sec. 7)")
+		for _, r := range rows {
+			fmt.Printf("  %-24s p95=%v energy=%.2fJ boosts=%d\n",
+				r.Name, r.Result.Latency.P95, r.Result.EnergyJ, r.Result.Boosts)
+		}
+	})
+	base, multi := rows[0].Result, rows[1].Result
+	b.ReportMetric(100*(base.EnergyJ-multi.EnergyJ)/base.EnergyJ, "energy_saving_pct")
+}
+
+func BenchmarkExtension_TOE(b *testing.B) {
+	o := experiments.Quick()
+	var rows []experiments.ExtensionRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.ExtensionTOE(o, app.MemcachedProfile(), cluster.MediumLoad)
+	}
+	printOnce("ext-toe", func() {
+		fmt.Println("\n# Extension — TCP offload engines (Sec. 7)")
+		for _, r := range rows {
+			fmt.Printf("  %-24s p95=%v energy=%.2fJ\n", r.Name, r.Result.Latency.P95, r.Result.EnergyJ)
+		}
+	})
+	base, toe := rows[0].Result, rows[1].Result
+	b.ReportMetric(100*(base.EnergyJ-toe.EnergyJ)/base.EnergyJ, "energy_saving_pct")
+}
+
+// Methodology and fleet benches (Sec. 5 and Sec. 7 arguments).
+
+func BenchmarkMethodology_OpenVsClosedLoop(b *testing.B) {
+	o := experiments.Quick()
+	var rows []experiments.OpenVsClosedRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.OpenVsClosedLoop(o)
+	}
+	printOnce("meth-loop", func() {
+		fmt.Println("\n# Methodology — open vs closed-loop clients (ond.idle memcached)")
+		for _, r := range rows {
+			fmt.Printf("  %-12s p95=%v p99=%v completed=%d\n", r.Method, r.P95, r.P99, r.Completed)
+		}
+	})
+	b.ReportMetric(float64(rows[0].P95)/float64(rows[1].P95), "open_over_closed_p95")
+}
+
+func BenchmarkMethodology_ModerationSweep(b *testing.B) {
+	o := experiments.Quick()
+	var rows []experiments.ModerationRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.ModerationSweep(o, app.MemcachedProfile())
+	}
+	printOnce("meth-mod", func() {
+		fmt.Println("\n# Methodology — interrupt moderation trade-off (perf memcached)")
+		for _, r := range rows {
+			fmt.Printf("  PITT=%-8v AITT=%-8v p95=%v IRQs=%d\n", r.PITT, r.AITT, r.P95, r.IRQs)
+		}
+	})
+	b.ReportMetric(float64(rows[0].IRQs), "light_irqs")
+}
+
+func BenchmarkFleet_Imbalance(b *testing.B) {
+	o := experiments.Quick()
+	prof := app.MemcachedProfile()
+	var rows []experiments.FleetRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.FleetImbalance(o, prof, cluster.LoadRPS(prof.Name, cluster.MediumLoad))
+	}
+	printOnce("fleet", func() {
+		fmt.Println("\n# Fleet — Sec. 7 load imbalance (4 servers, 55/20/15/10%)")
+		for _, r := range rows {
+			fmt.Printf("  %-10s fleet-energy=%.2fJ worst-p95=%v\n", r.Policy, r.TotalEnergyJ, r.WorstP95)
+		}
+	})
+	for _, r := range rows {
+		if r.Policy == cluster.NcapAggr {
+			b.ReportMetric(r.TotalEnergyJ, "ncap_fleet_J")
+		}
+	}
+}
+
+// Substrate micro-benchmarks: the cost of the simulator itself.
+
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	eng := sim.NewEngine()
+	var next func()
+	next = func() { eng.Schedule(sim.Microsecond, next) }
+	eng.Schedule(0, next)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}
+
+func BenchmarkReqMonitorInspect(b *testing.B) {
+	m := core.NewReqMonitor()
+	m.ProgramStrings("GET", "HEAD", "ge")
+	payload := []byte("GET /index.html HTTP/1.1")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Inspect(payload)
+	}
+}
+
+func BenchmarkDecisionEngineMITT(b *testing.B) {
+	d := core.NewDecisionEngine(core.DefaultConfig(), maxFreqStub{}, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.OnMITTExpiry(sim.Time(i)*50*sim.Microsecond, int64(i%5), int64(i%2000), 50*sim.Microsecond)
+	}
+}
+
+type maxFreqStub struct{}
+
+func (maxFreqStub) AtMaxFreq() bool { return false }
+func (maxFreqStub) AtMinFreq() bool { return false }
+
+func BenchmarkFullSystemSimSecond(b *testing.B) {
+	// Wall-clock cost of simulating the ncap.cons Apache server at low
+	// load; the metric is simulated-vs-wall time.
+	o := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		cfg := quickCfg(o, cluster.NcapCons, app.ApacheProfile(), 24_000)
+		cluster.New(cfg).Run()
+	}
+}
+
+func quickCfg(o experiments.Options, pol cluster.Policy, prof app.Profile, load float64) cluster.Config {
+	cfg := cluster.DefaultConfig(pol, prof, load)
+	cfg.Warmup, cfg.Measure, cfg.Drain = o.Warmup, o.Measure, o.Drain
+	cfg.Seed = o.Seed
+	return cfg
+}
+
+func meanOf(s *stats.TimeSeries) float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range s.Points {
+		sum += p.V
+	}
+	return sum / float64(len(s.Points))
+}
+
+func minOf(s *stats.TimeSeries) float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	min := s.Points[0].V
+	for _, p := range s.Points {
+		if p.V < min {
+			min = p.V
+		}
+	}
+	return min
+}

@@ -1,0 +1,116 @@
+// Command ncapsim runs a single NCAP experiment and prints its result.
+//
+// Usage:
+//
+//	ncapsim -policy ncap.cons -workload apache -level medium
+//	ncapsim -policy perf -workload memcached -load 90000 -measure 500ms
+//	ncapsim -exp fig1          # print the P-state transition table (Fig. 1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ncap"
+	"ncap/internal/experiments"
+	"ncap/internal/power"
+	"ncap/internal/sim"
+)
+
+func main() {
+	var (
+		policyName = flag.String("policy", "ncap.cons", "power policy (perf, ond, perf.idle, ond.idle, ncap.sw, ncap.cons, ncap.aggr)")
+		workload   = flag.String("workload", "apache", "workload (apache, memcached)")
+		level      = flag.String("level", "low", "paper load level (low, medium, high); ignored when -load is set")
+		load       = flag.Float64("load", 0, "explicit aggregate load in requests/second")
+		measure    = flag.Duration("measure", 400*time.Millisecond, "simulated measurement window")
+		warmup     = flag.Duration("warmup", 100*time.Millisecond, "simulated warmup window")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		exp        = flag.String("exp", "", "print a static experiment instead (fig1)")
+		verbose    = flag.Bool("v", false, "print extended counters")
+	)
+	flag.Parse()
+
+	if *exp == "fig1" {
+		printFig1()
+		return
+	}
+	if *exp != "" {
+		fmt.Fprintf(os.Stderr, "ncapsim: unknown -exp %q (want fig1; see ncapsweep for the rest)\n", *exp)
+		os.Exit(2)
+	}
+
+	prof, err := ncap.WorkloadByName(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ncapsim:", err)
+		os.Exit(2)
+	}
+	policy, err := ncap.ParsePolicy(*policyName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ncapsim:", err)
+		os.Exit(2)
+	}
+	rps := *load
+	if rps == 0 {
+		lvl, err := parseLevel(*level)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ncapsim:", err)
+			os.Exit(2)
+		}
+		rps = ncap.LoadRPS(prof.Name, lvl)
+	}
+
+	cfg := ncap.DefaultConfig(policy, prof, rps)
+	cfg.Measure = sim.Duration(measure.Nanoseconds())
+	cfg.Warmup = sim.Duration(warmup.Nanoseconds())
+	cfg.Seed = *seed
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "ncapsim:", err)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	res := ncap.Run(cfg)
+	wall := time.Since(start)
+
+	res.WriteRow(os.Stdout)
+	fmt.Printf("latency: p50=%v p90=%v p95=%v p99=%v max=%v (n=%d)\n",
+		res.Latency.P50, res.Latency.P90, res.Latency.P95, res.Latency.P99,
+		res.Latency.Max, res.Latency.Count)
+	fmt.Printf("energy: %.2f J over %v (%.2f W avg)\n", res.EnergyJ, cfg.Measure, res.AvgPowerW)
+	if *verbose {
+		fmt.Printf("requests: sent=%d completed=%d retransmits=%d abandoned=%d rx-drops=%d\n",
+			res.Sent, res.Completed, res.Retransmits, res.Abandoned, res.RxDrops)
+		fmt.Printf("c-states: C1=%v(%d) C3=%v(%d) C6=%v(%d)\n",
+			res.CResidency[power.C1], res.CEntries[power.C1],
+			res.CResidency[power.C3], res.CEntries[power.C3],
+			res.CResidency[power.C6], res.CEntries[power.C6])
+		fmt.Printf("ncap: boosts=%d stepdowns=%d cit-wakes=%d p-transitions=%d\n",
+			res.Boosts, res.StepDowns, res.CITWakes, res.PStateTransitions)
+		fmt.Printf("simulator: %d events in %v (%.1f Mevents/s)\n",
+			res.Events, wall.Round(time.Millisecond), float64(res.Events)/wall.Seconds()/1e6)
+	}
+}
+
+func parseLevel(s string) (ncap.LoadLevel, error) {
+	switch s {
+	case "low":
+		return ncap.LowLoad, nil
+	case "medium":
+		return ncap.MediumLoad, nil
+	case "high":
+		return ncap.HighLoad, nil
+	}
+	return 0, fmt.Errorf("unknown level %q (want low, medium, high)", s)
+}
+
+func printFig1() {
+	fmt.Println("# Fig. 1 — P-state transition timing (Table 1 parameters)")
+	fmt.Printf("%-22s %-22s %-5s %9s %9s %9s\n", "from", "to", "dir", "ramp(µs)", "halt(µs)", "total(µs)")
+	for _, r := range experiments.Fig1() {
+		fmt.Printf("%-22s %-22s %-5s %9.1f %9.1f %9.1f\n",
+			r.From, r.To, r.Direction, r.RampUs, r.HaltUs, r.EffectUs)
+	}
+}

@@ -1,0 +1,167 @@
+// Command ncapsweep regenerates the paper's evaluation tables: the
+// latency-versus-load curves and SLA (Fig. 7), the seven-policy
+// comparisons (Figs. 8 and 9), the ondemand-period sweep (Fig. 2), the
+// headline energy-saving claims, and the design-choice ablations.
+//
+// Usage:
+//
+//	ncapsweep -exp lvl       -workload apache     # latency vs load + SLA
+//	ncapsweep -exp policies  -workload memcached  # Fig. 8/9-style table
+//	ncapsweep -exp fig2                           # ondemand period sweep
+//	ncapsweep -exp headline                       # abstract's claims
+//	ncapsweep -exp ablations -workload apache     # design-choice ablations
+//	ncapsweep -exp all                            # everything
+//
+// -full switches from quick windows to the EXPERIMENTS.md measurement
+// windows (slower but matches the recorded numbers).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ncap"
+	"ncap/internal/app"
+	"ncap/internal/cluster"
+	"ncap/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: lvl, policies, fig2, headline, ablations, extensions, all")
+		workload = flag.String("workload", "", "restrict to one workload (apache, memcached)")
+		full     = flag.Bool("full", false, "use the full measurement windows")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	o := experiments.Quick()
+	if *full {
+		o = experiments.Full()
+	}
+	o.Seed = *seed
+
+	profiles := []app.Profile{app.ApacheProfile(), app.MemcachedProfile()}
+	if *workload != "" {
+		prof, err := ncap.WorkloadByName(*workload)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ncapsweep:", err)
+			os.Exit(2)
+		}
+		profiles = []app.Profile{prof}
+	}
+
+	switch *exp {
+	case "lvl":
+		for _, prof := range profiles {
+			latencyVsLoad(o, prof)
+		}
+	case "policies":
+		for _, prof := range profiles {
+			policies(o, prof)
+		}
+	case "fig2":
+		fig2(o)
+	case "headline":
+		for _, prof := range profiles {
+			headline(o, prof)
+		}
+	case "ablations":
+		for _, prof := range profiles {
+			ablations(o, prof)
+		}
+	case "extensions":
+		for _, prof := range profiles {
+			extensions(o, prof)
+		}
+	case "all":
+		fig2(o)
+		for _, prof := range profiles {
+			latencyVsLoad(o, prof)
+			policies(o, prof)
+			headline(o, prof)
+			ablations(o, prof)
+			extensions(o, prof)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "ncapsweep: unknown -exp %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func latencyVsLoad(o experiments.Options, prof app.Profile) {
+	fmt.Printf("# Fig. 7 — %s: 95th-percentile latency vs load (perf policy)\n", prof.Name)
+	pts := experiments.LatencyVsLoad(o, prof)
+	for _, p := range pts {
+		fmt.Printf("load=%7.0f rps   p95=%9.3f ms\n", p.LoadRPS, p.P95.Millis())
+	}
+	sla, knee := experiments.FindSLA(pts)
+	fmt.Printf("inflexion at %.0f rps -> SLA = %.3f ms (paper: %v)\n\n",
+		knee, sla.Millis(), cluster.PaperSLA(prof.Name))
+}
+
+func policies(o experiments.Options, prof app.Profile) {
+	sla, _ := experiments.MeasuredSLA(o, prof)
+	rows := experiments.Comparison(o, prof, sla)
+	fmt.Printf("# Fig. 8/9 — measured SLA %.3f ms\n", sla.Millis())
+	experiments.WriteComparison(os.Stdout, prof.Name, rows)
+	fmt.Println()
+}
+
+func fig2(o experiments.Options) {
+	fmt.Println("# Fig. 2 — Apache p95 latency vs ondemand invocation period")
+	fmt.Printf("%-10s %-8s %10s\n", "period", "load", "p95(ms)")
+	for _, r := range experiments.Fig2(o) {
+		fmt.Printf("%-10v %-8s %10.3f\n", r.Period, r.Level, r.P95.Millis())
+	}
+	fmt.Println()
+}
+
+func headline(o experiments.Options, prof app.Profile) {
+	sla, _ := experiments.MeasuredSLA(o, prof)
+	rows := experiments.Comparison(o, prof, sla)
+	h := experiments.Headline(prof.Name, sla, rows)
+	fmt.Printf("# Headline claims — %s (SLA %.3f ms)\n", prof.Name, sla.Millis())
+	for _, r := range h.Rows {
+		best := "n/a: none meets SLA"
+		if r.BestConventional != "" {
+			best = fmt.Sprintf("%s: %+.1f%%", r.BestConventional, -r.SavingVsBestPct)
+		}
+		fmt.Printf("%-7s ncap.aggr vs perf: %+6.1f%%   vs best conventional (%s)   SLA met: %v\n",
+			r.Level, -r.SavingVsPerfPct, best, r.NcapMeetsSLA)
+	}
+	fmt.Println()
+}
+
+func extensions(o experiments.Options, prof app.Profile) {
+	fmt.Printf("# Extensions (Sec. 7) — %s (low load)\n", prof.Name)
+	for _, r := range experiments.ExtensionMultiQueue(o, prof, cluster.LowLoad) {
+		fmt.Printf("  mq  %-24s p95=%9.3fms energy=%7.2fJ boosts=%d\n",
+			r.Name, r.Result.Latency.P95.Millis(), r.Result.EnergyJ, r.Result.Boosts)
+	}
+	for _, r := range experiments.ExtensionTOE(o, prof, cluster.LowLoad) {
+		fmt.Printf("  toe %-24s p95=%9.3fms energy=%7.2fJ\n",
+			r.Name, r.Result.Latency.P95.Millis(), r.Result.EnergyJ)
+	}
+	fmt.Println()
+}
+
+func ablations(o experiments.Options, prof app.Profile) {
+	fmt.Printf("# Ablations — %s (low load)\n", prof.Name)
+	cit := experiments.AblationCIT(o, prof, cluster.LowLoad)
+	fmt.Printf("%-22s removing it: p95 %+6.1f%%  energy %+6.1f%%  (cit-wakes %d -> %d)\n",
+		cit.Name, cit.LatencyDeltaPct, cit.EnergyDeltaPct, cit.With.CITWakes, cit.Without.CITWakes)
+	ovl := experiments.AblationOverlap(o, prof, cluster.LowLoad)
+	fmt.Printf("%-22s removing it: p95 %+6.1f%%  energy %+6.1f%%\n",
+		ovl.Name, ovl.LatencyDeltaPct, ovl.EnergyDeltaPct)
+	ctx := experiments.AblationContext(o)
+	fmt.Printf("%-22s going naive: p95 %+6.1f%%  energy %+6.1f%%  (stepdowns %d -> %d)\n",
+		ctx.Name, ctx.LatencyDeltaPct, ctx.EnergyDeltaPct, ctx.With.StepDowns, ctx.Without.StepDowns)
+	fmt.Println("fcons sweep:")
+	for _, r := range experiments.AblationFCONS(o, prof, cluster.LowLoad) {
+		fmt.Printf("  FCONS=%-3d p95=%9.3f ms  energy=%7.2f J  stepdowns=%d\n",
+			r.FCONS, r.Result.Latency.P95.Millis(), r.Result.EnergyJ, r.Result.StepDowns)
+	}
+	fmt.Println()
+}

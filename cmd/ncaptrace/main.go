@@ -1,0 +1,106 @@
+// Command ncaptrace produces the paper's time-series figures as CSV: the
+// Fig. 4 correlation trace (BW(Rx), BW(Tx), U, F, T(Cx)) and the Fig. 8/9
+// BW(Rx)-versus-F snapshots with INT(wake) markers.
+//
+// Usage:
+//
+//	ncaptrace -policy ond.idle  -workload apache -level low > fig4.csv
+//	ncaptrace -policy ncap.cons -workload apache -level low > snapshot.csv
+//	ncaptrace -snapshot -workload memcached -level low -out mem  # both policies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ncap"
+	"ncap/internal/cluster"
+	"ncap/internal/experiments"
+	"ncap/internal/sim"
+)
+
+func main() {
+	var (
+		policyName = flag.String("policy", "ond.idle", "power policy to trace")
+		workload   = flag.String("workload", "apache", "workload (apache, memcached)")
+		level      = flag.String("level", "low", "load level (low, medium, high)")
+		interval   = flag.Duration("interval", 500*time.Microsecond, "sampling interval")
+		measure    = flag.Duration("measure", 200*time.Millisecond, "traced window (the paper plots 200 ms)")
+		snapshot   = flag.Bool("snapshot", false, "emit the ond.idle + ncap.cons snapshot pair")
+		out        = flag.String("out", "", "output file prefix (default: stdout)")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	prof, err := ncap.WorkloadByName(*workload)
+	if err != nil {
+		fatal(err)
+	}
+	lvl, err := parseLevel(*level)
+	if err != nil {
+		fatal(err)
+	}
+	o := experiments.Quick()
+	o.Measure = sim.Duration(measure.Nanoseconds())
+	o.Seed = *seed
+
+	if *snapshot {
+		ond, ncp := experiments.Snapshots(o, prof, lvl)
+		writeTrace(ond, fileOrStdout(*out, "ond.idle"))
+		writeTrace(ncp, fileOrStdout(*out, "ncap.cons"))
+		return
+	}
+
+	policy, err := ncap.ParsePolicy(*policyName)
+	if err != nil {
+		fatal(err)
+	}
+	tr := experiments.Trace(o, policy, prof, cluster.LoadRPS(prof.Name, lvl),
+		sim.Duration(interval.Nanoseconds()))
+	writeTrace(tr, fileOrStdout(*out, string(policy)))
+}
+
+func writeTrace(tr experiments.TraceResult, w *os.File) {
+	defer func() {
+		if w != os.Stdout {
+			w.Close()
+		}
+	}()
+	if err := tr.Result.Sampler.WriteCSV(w); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "ncaptrace: %s: %d samples, p95=%v, energy=%.2fJ\n",
+		tr.Policy, len(tr.Result.Sampler.Freq.Points), tr.Result.Latency.P95, tr.Result.EnergyJ)
+}
+
+func fileOrStdout(prefix, name string) *os.File {
+	if prefix == "" {
+		return os.Stdout
+	}
+	path := fmt.Sprintf("%s_%s.csv", prefix, name)
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "ncaptrace: writing", path)
+	return f
+}
+
+func parseLevel(s string) (cluster.LoadLevel, error) {
+	switch s {
+	case "low":
+		return cluster.LowLoad, nil
+	case "medium":
+		return cluster.MediumLoad, nil
+	case "high":
+		return cluster.HighLoad, nil
+	}
+	return 0, fmt.Errorf("unknown level %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ncaptrace:", err)
+	os.Exit(1)
+}

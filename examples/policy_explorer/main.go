@@ -1,0 +1,63 @@
+// Policy explorer: the paper's Figure 8/9 experiment in miniature.
+//
+// Runs all seven power-management policies for a chosen workload and load
+// level, prints the latency/energy table, and marks which policies would
+// satisfy the paper's SLA — the decision a server operator actually faces.
+//
+//	go run ./examples/policy_explorer -workload memcached -level low
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"ncap"
+)
+
+func main() {
+	workload := flag.String("workload", "memcached", "apache or memcached")
+	level := flag.String("level", "low", "low, medium or high")
+	flag.Parse()
+
+	prof, err := ncap.WorkloadByName(*workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var lvl ncap.LoadLevel
+	switch *level {
+	case "low":
+		lvl = ncap.LowLoad
+	case "medium":
+		lvl = ncap.MediumLoad
+	case "high":
+		lvl = ncap.HighLoad
+	default:
+		log.Fatalf("unknown level %q", *level)
+	}
+	load := ncap.LoadRPS(prof.Name, lvl)
+	sla := ncap.PaperSLA(prof.Name)
+
+	fmt.Printf("workload=%s load=%.0f rps (%s) — paper SLA %v\n\n", prof.Name, load, *level, sla)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "policy\tp50\tp95\tp99\tenergy(J)\tavg W\tSLA")
+	var perfEnergy float64
+	for _, pol := range ncap.AllPolicies() {
+		res := ncap.Run(ncap.DefaultConfig(pol, prof, load))
+		if pol == ncap.Perf {
+			perfEnergy = res.EnergyJ
+		}
+		verdict := "ok"
+		if !res.MeetsSLA(sla) {
+			verdict = "VIOLATED"
+		}
+		fmt.Fprintf(w, "%s\t%v\t%v\t%v\t%.2f (%.0f%%)\t%.1f\t%s\n",
+			pol, res.Latency.P50, res.Latency.P95, res.Latency.P99,
+			res.EnergyJ, 100*res.EnergyJ/perfEnergy, res.AvgPowerW, verdict)
+	}
+	w.Flush()
+	fmt.Println("\nenergy percentages are relative to the perf baseline, as in the paper")
+}

@@ -1,0 +1,42 @@
+// Quickstart: run one NCAP experiment and read the result.
+//
+// The experiment simulates the paper's four-node cluster — one fully
+// modeled OLDI server (4-core chip, Linux-like governors, e1000-class NIC,
+// NCAP hardware) and three open-loop clients — for half a simulated
+// second, then reports client-observed latency and processor energy.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ncap"
+)
+
+func main() {
+	// An Apache-like server at the paper's low load (24 K requests/s),
+	// managed by conservative hardware NCAP (FCONS=5).
+	cfg := ncap.DefaultConfig(ncap.NcapCons, ncap.Apache(), ncap.LoadRPS("apache", ncap.LowLoad))
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	res := ncap.Run(cfg)
+
+	fmt.Printf("policy=%s workload=%s offered=%.0f rps served=%.0f rps\n",
+		res.Policy, res.Workload, res.LoadRPS, res.ServedRPS)
+	fmt.Printf("latency: p50=%v p95=%v p99=%v\n",
+		res.Latency.P50, res.Latency.P95, res.Latency.P99)
+	fmt.Printf("energy:  %.2f J over %v (%.1f W average)\n",
+		res.EnergyJ, cfg.Measure, res.AvgPowerW)
+	fmt.Printf("ncap:    %d boosts, %d step-downs, %d CIT wakes\n",
+		res.Boosts, res.StepDowns, res.CITWakes)
+
+	// Compare against the always-max baseline.
+	base := ncap.Run(ncap.DefaultConfig(ncap.Perf, ncap.Apache(), res.LoadRPS))
+	fmt.Printf("\nvs perf baseline: energy %+.1f%%, p95 %+.1f%%\n",
+		100*(res.EnergyJ-base.EnergyJ)/base.EnergyJ,
+		100*float64(res.Latency.P95-base.Latency.P95)/float64(base.Latency.P95))
+}

@@ -1,0 +1,3 @@
+module ncap
+
+go 1.22

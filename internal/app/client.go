@@ -1,0 +1,232 @@
+package app
+
+import (
+	"ncap/internal/netsim"
+	"ncap/internal/sim"
+	"ncap/internal/stats"
+)
+
+// ClientConfig parameterizes one open-loop burst client.
+type ClientConfig struct {
+	// BurstSize requests are emitted per burst (the paper's example: 200).
+	BurstSize int
+	// Period is the burst interval; the paper varies it between 1.3 and
+	// 20 ms to set the load level.
+	Period sim.Duration
+	// Spacing separates requests within a burst at the sender.
+	Spacing sim.Duration
+	// StartOffset staggers client phases so bursts do not align exactly.
+	StartOffset sim.Duration
+	// RTO is the retransmission timeout for lost requests/responses; zero
+	// disables retransmission.
+	RTO sim.Duration
+	// MaxRetries bounds retransmissions per request.
+	MaxRetries int
+}
+
+// DefaultClientConfig returns a burst client shaped like the paper's:
+// bursty ON/OFF arrivals, datacenter-scale RTO.
+func DefaultClientConfig() ClientConfig {
+	return ClientConfig{
+		BurstSize:  100,
+		Period:     10 * sim.Millisecond,
+		Spacing:    500 * sim.Nanosecond,
+		RTO:        25 * sim.Millisecond,
+		MaxRetries: 2,
+	}
+}
+
+// pendingReq tracks one outstanding request.
+type pendingReq struct {
+	sent    sim.Time // first transmission (latency is measured from here)
+	got     uint64   // bitmask of distinct response segments received
+	need    int      // segments expected (learned from the first segment)
+	retries int
+	timer   *sim.Timer
+}
+
+// Client is an open-loop load generator: it emits bursts on schedule
+// regardless of response progress (no client-side queueing bias, Sec. 5)
+// and measures each request's round-trip time to the last response
+// segment.
+type Client struct {
+	eng     *sim.Engine
+	addr    netsim.Addr
+	server  netsim.Addr
+	uplink  *netsim.Link
+	payload []byte
+	cfg     ClientConfig
+	rng     *sim.Rand
+
+	nextSeq     uint64
+	pending     map[uint64]*pendingReq
+	lat         *stats.LatencyRecorder
+	measureFrom sim.Time
+	running     bool
+
+	// Sent counts first transmissions; Retransmits resends; Completed
+	// requests with a full response; Abandoned requests that exhausted
+	// retries (recorded at their give-up latency so tails stay honest).
+	Sent        stats.Counter
+	Completed   stats.Counter
+	Retransmits stats.Counter
+	Abandoned   stats.Counter
+}
+
+// NewClient builds a client. uplink must lead to the switch; payload is
+// the request body (its first bytes carry the request type).
+func NewClient(eng *sim.Engine, addr, server netsim.Addr, uplink *netsim.Link, payload []byte, cfg ClientConfig, rng *sim.Rand) *Client {
+	if cfg.BurstSize <= 0 || cfg.Period <= 0 {
+		panic("app: client burst size and period must be positive")
+	}
+	return &Client{
+		eng: eng, addr: addr, server: server, uplink: uplink,
+		payload: payload, cfg: cfg, rng: rng,
+		pending: map[uint64]*pendingReq{},
+		lat:     stats.NewLatencyRecorder(),
+	}
+}
+
+// Addr returns the client's network address.
+func (c *Client) Addr() netsim.Addr { return c.addr }
+
+// Latency returns the client's RTT recorder.
+func (c *Client) Latency() *stats.LatencyRecorder { return c.lat }
+
+// Outstanding returns the number of requests still awaiting responses.
+func (c *Client) Outstanding() int { return len(c.pending) }
+
+// Start begins emitting bursts after the configured offset.
+func (c *Client) Start() {
+	if c.running {
+		return
+	}
+	c.running = true
+	c.eng.Schedule(c.cfg.StartOffset, c.burst)
+}
+
+// Stop halts burst emission (outstanding requests keep completing).
+func (c *Client) Stop() { c.running = false }
+
+// BeginMeasurement resets the recorder; only requests first sent from now
+// on are recorded (the warmup boundary).
+func (c *Client) BeginMeasurement() {
+	c.lat.Reset()
+	c.measureFrom = c.eng.Now()
+	c.Sent.Reset()
+	c.Completed.Reset()
+	c.Retransmits.Reset()
+	c.Abandoned.Reset()
+}
+
+func (c *Client) burst() {
+	if !c.running {
+		return
+	}
+	for i := 0; i < c.cfg.BurstSize; i++ {
+		delay := sim.Duration(i) * c.cfg.Spacing
+		c.eng.Schedule(delay, c.sendNew)
+	}
+	// Small deterministic jitter (±5%) keeps multi-client bursts from
+	// locking into perfect alignment.
+	jitter := c.rng.Duration(0, c.cfg.Period/10) - c.cfg.Period/20
+	c.eng.Schedule(c.cfg.Period+jitter, c.burst)
+}
+
+func (c *Client) sendNew() {
+	seq := c.nextSeq
+	c.nextSeq++
+	id := uint64(c.addr)<<40 | seq
+	pr := &pendingReq{sent: c.eng.Now()}
+	c.pending[id] = pr
+	c.Sent.Inc()
+	c.transmit(id, pr)
+}
+
+func (c *Client) transmit(id uint64, pr *pendingReq) {
+	pkt := netsim.NewRequest(c.addr, c.server, id, c.payload)
+	c.uplink.Send(pkt)
+	if c.cfg.RTO <= 0 {
+		return
+	}
+	if pr.timer == nil {
+		pr.timer = sim.NewTimer(c.eng, func() { c.timeout(id) })
+	}
+	pr.timer.Arm(c.cfg.RTO)
+}
+
+func (c *Client) timeout(id uint64) {
+	pr, ok := c.pending[id]
+	if !ok {
+		return
+	}
+	if pr.retries >= c.cfg.MaxRetries {
+		// Give up; record the time wasted so the tail reflects the loss.
+		c.Abandoned.Inc()
+		if pr.sent >= c.measureFrom {
+			c.lat.Record(c.eng.Now() - pr.sent)
+		}
+		delete(c.pending, id)
+		return
+	}
+	pr.retries++
+	c.Retransmits.Inc()
+	c.transmit(id, pr)
+}
+
+// Receive implements netsim.Receiver for response segments.
+func (c *Client) Receive(p *netsim.Packet) {
+	if p.Kind != netsim.KindResponse {
+		return
+	}
+	pr, ok := c.pending[p.ReqID]
+	if !ok {
+		return // duplicate from a retransmitted request
+	}
+	if pr.need == 0 {
+		pr.need = p.SegCount
+	}
+	// Distinct segments only: duplicates from a retransmitted request must
+	// not complete a response whose tail never arrived. Responses beyond
+	// 64 segments complete on the last segment's arrival (none of the
+	// built-in profiles come close to that size).
+	if p.Seg < 64 {
+		pr.got |= 1 << uint(p.Seg)
+	}
+	if countBits(pr.got) < min64(pr.need, 64) {
+		return
+	}
+	if pr.timer != nil {
+		pr.timer.Stop()
+	}
+	c.Completed.Inc()
+	if pr.sent >= c.measureFrom {
+		c.lat.Record(c.eng.Now() - pr.sent)
+	}
+	delete(c.pending, p.ReqID)
+}
+
+func countBits(v uint64) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+func min64(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TargetPeriodFor computes the per-client burst period that yields the
+// given aggregate load across nClients identical clients.
+func TargetPeriodFor(loadRPS float64, burstSize, nClients int) sim.Duration {
+	if loadRPS <= 0 || burstSize <= 0 || nClients <= 0 {
+		panic("app: TargetPeriodFor needs positive arguments")
+	}
+	perClient := loadRPS / float64(nClients)
+	return sim.Duration(float64(burstSize) / perClient * float64(sim.Second))
+}

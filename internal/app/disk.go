@@ -1,0 +1,69 @@
+package app
+
+import (
+	"ncap/internal/sim"
+	"ncap/internal/stats"
+)
+
+// Disk models the server's storage path as an FCFS service center with a
+// fixed internal concurrency (command queueing across platters/array
+// members). Requests beyond the concurrency limit queue; service times are
+// exponential. Waiting requests consume no CPU — the property that makes
+// the Apache profile's latency partially frequency-independent.
+type Disk struct {
+	eng         *sim.Engine
+	rng         *sim.Rand
+	mean        sim.Duration
+	concurrency int
+	inflight    int
+	queue       []func()
+
+	// Reads counts completed accesses; MaxQueue tracks the deepest
+	// backlog observed.
+	Reads    stats.Counter
+	MaxQueue int
+}
+
+// NewDisk builds a disk with the given mean access time and concurrency.
+func NewDisk(eng *sim.Engine, rng *sim.Rand, mean sim.Duration, concurrency int) *Disk {
+	if concurrency <= 0 {
+		panic("app: disk concurrency must be positive")
+	}
+	if mean <= 0 {
+		panic("app: disk mean must be positive")
+	}
+	return &Disk{eng: eng, rng: rng, mean: mean, concurrency: concurrency}
+}
+
+// Read performs an access and calls done on completion.
+func (d *Disk) Read(done func()) {
+	if d.inflight < d.concurrency {
+		d.begin(done)
+		return
+	}
+	d.queue = append(d.queue, done)
+	if len(d.queue) > d.MaxQueue {
+		d.MaxQueue = len(d.queue)
+	}
+}
+
+// Inflight returns the number of accesses in service.
+func (d *Disk) Inflight() int { return d.inflight }
+
+// Queued returns the number of accesses waiting for a service slot.
+func (d *Disk) Queued() int { return len(d.queue) }
+
+func (d *Disk) begin(done func()) {
+	d.inflight++
+	d.eng.Schedule(d.rng.Exp(d.mean), func() {
+		d.inflight--
+		d.Reads.Inc()
+		done()
+		if len(d.queue) > 0 {
+			next := d.queue[0]
+			copy(d.queue, d.queue[1:])
+			d.queue = d.queue[:len(d.queue)-1]
+			d.begin(next)
+		}
+	})
+}

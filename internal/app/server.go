@@ -1,0 +1,131 @@
+package app
+
+import (
+	"math"
+
+	"ncap/internal/driver"
+	"ncap/internal/netsim"
+	"ncap/internal/oskernel"
+	"ncap/internal/sim"
+	"ncap/internal/stats"
+)
+
+// DefaultDiskConcurrency is the storage path's internal parallelism.
+const DefaultDiskConcurrency = 40
+
+// Server is the OLDI application instance on the server node. It consumes
+// packets from the driver's deliver path, runs the profile's service model
+// on kernel-scheduled tasks, and transmits responses back through the
+// driver.
+type Server struct {
+	k       *oskernel.Kernel
+	drv     *driver.Driver
+	profile Profile
+	rng     *sim.Rand
+	disk    *Disk // nil for memory-resident profiles
+	addr    netsim.Addr
+
+	// Affine pins each request's application task to the core that polled
+	// it — the flow-affinity of a multi-queue NIC deployment (Sec. 7).
+	// When false (the paper's single-queue baseline) tasks go to the
+	// least-loaded core.
+	Affine bool
+
+	// Served counts completed requests; Ignored counts non-request
+	// packets reaching the socket layer; DiskReads counts cache misses.
+	Served    stats.Counter
+	Ignored   stats.Counter
+	DiskReads stats.Counter
+	Inflight  int
+}
+
+// NewServer assembles the application. rng must be a dedicated stream.
+func NewServer(k *oskernel.Kernel, drv *driver.Driver, profile Profile, rng *sim.Rand, addr netsim.Addr) *Server {
+	if err := profile.Validate(); err != nil {
+		panic(err)
+	}
+	s := &Server{k: k, drv: drv, profile: profile, rng: rng, addr: addr}
+	if profile.DiskProb > 0 {
+		s.disk = NewDisk(k.Engine(), rng, profile.DiskMean, DefaultDiskConcurrency)
+	}
+	return s
+}
+
+// Profile returns the workload profile.
+func (s *Server) Profile() Profile { return s.profile }
+
+// Disk returns the storage model (nil for memory-resident profiles).
+func (s *Server) Disk() *Disk { return s.disk }
+
+// HandleDelivered is the driver's deliver callback: the socket layer.
+// Each request becomes an application task; cache misses release the core
+// while the storage access is in flight, then the response transmits from
+// the core that served the request. pollCore is the core that polled the
+// packet; with Affine set, the task stays there.
+func (s *Server) HandleDelivered(p *netsim.Packet, pollCore int) {
+	if p.Kind != netsim.KindRequest {
+		s.Ignored.Inc()
+		return
+	}
+	s.Inflight++
+	cycles := s.profile.ParseCycles + s.serviceCycles()
+	resume := func(coreID int) {
+		if s.disk != nil && s.rng.Bool(s.profile.DiskProb) {
+			s.DiskReads.Inc()
+			s.disk.Read(func() { s.finish(p, coreID) })
+			return
+		}
+		s.finish(p, coreID)
+	}
+	if s.Affine {
+		s.k.SubmitTaskOn(pollCore, s.profile.Name, cycles, func() { resume(pollCore) })
+		return
+	}
+	var coreID int // assigned below, read only when the task completes
+	core := s.k.SubmitTask(s.profile.Name, cycles, func() { resume(coreID) })
+	coreID = core.ID()
+}
+
+func (s *Server) finish(req *netsim.Packet, coreID int) {
+	s.Inflight--
+	s.Served.Inc()
+	segs := netsim.SegmentResponse(s.addr, req.Src, req.ReqID, s.responseBytes())
+	s.drv.Send(coreID, segs)
+}
+
+// ResetStats zeroes request accounting at the warmup boundary.
+func (s *Server) ResetStats() {
+	s.Served.Reset()
+	s.Ignored.Reset()
+	s.DiskReads.Reset()
+}
+
+func (s *Server) serviceCycles() int64 {
+	if s.profile.AppSigma <= 0 {
+		return s.profile.AppCycles
+	}
+	// Lognormal with mean preserved: multiplier mean 1.
+	sigma := s.profile.AppSigma
+	mult := math.Exp(s.rng.Normal(-sigma*sigma/2, sigma))
+	c := int64(float64(s.profile.AppCycles) * mult)
+	if c < 1000 {
+		c = 1000
+	}
+	return c
+}
+
+func (s *Server) responseBytes() int {
+	if s.profile.ResponseSigma <= 0 {
+		return s.profile.ResponseBytes
+	}
+	sigma := s.profile.ResponseSigma
+	mult := math.Exp(s.rng.Normal(-sigma*sigma/2, sigma))
+	b := int(float64(s.profile.ResponseBytes) * mult)
+	if b < 64 {
+		b = 64
+	}
+	if b > 256*1024 {
+		b = 256 * 1024
+	}
+	return b
+}

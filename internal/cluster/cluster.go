@@ -1,0 +1,254 @@
+package cluster
+
+import (
+	"ncap/internal/app"
+	"ncap/internal/core"
+	"ncap/internal/cpu"
+	"ncap/internal/driver"
+	"ncap/internal/governor"
+	"ncap/internal/netsim"
+	"ncap/internal/nic"
+	"ncap/internal/oskernel"
+	"ncap/internal/power"
+	"ncap/internal/sim"
+	"ncap/internal/trace"
+)
+
+// Network addresses in the four-node topology.
+const (
+	ServerAddr      netsim.Addr = 1
+	firstClientAddr netsim.Addr = 2
+	bulkAddr        netsim.Addr = 99
+)
+
+// Cluster is an assembled experiment: one fully modeled server node and
+// open-loop client nodes behind a store-and-forward switch.
+type Cluster struct {
+	cfg Config
+	eng *sim.Engine
+	sw  *netsim.Switch
+
+	Chip    *cpu.Chip
+	Kernel  *oskernel.Kernel
+	NIC     *nic.NIC
+	Driver  *driver.Driver
+	Server  *app.Server
+	Clients []*app.Client
+	Bulk    *app.BulkSender
+
+	Ond     *governor.Ondemand
+	Menu    *governor.Menu
+	Sampler *trace.Sampler
+}
+
+// chipState adapts the chip for core.DecisionEngine (chip-wide DVFS).
+type chipState struct{ chip *cpu.Chip }
+
+func (c chipState) AtMaxFreq() bool { return c.chip.Target() == c.chip.Table().Max() }
+func (c chipState) AtMinFreq() bool { return c.chip.Target() == c.chip.Table().Min() }
+
+// domainState adapts one core's DVFS domain for core.DecisionEngine
+// (per-core extension).
+type domainState struct {
+	dom *cpu.Domain
+	tab *power.Table
+}
+
+func (d domainState) AtMaxFreq() bool { return d.dom.Target() == d.tab.Max() }
+func (d domainState) AtMinFreq() bool { return d.dom.Target() == d.tab.Min() }
+
+// New assembles a cluster from the config. It panics on an invalid config
+// (construction bug); use Config.Validate to check user input first.
+func New(cfg Config) *Cluster {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	eng := sim.NewEngine()
+	c := &Cluster{cfg: cfg, eng: eng}
+
+	// Processor and kernel (Table 1).
+	tab := power.DefaultTable()
+	initial := tab.Max()
+	if cfg.Policy == Ond || cfg.Policy == OndIdle || cfg.Policy.UsesNCAPHardware() || cfg.Policy.UsesNCAPSoftware() {
+		// Dynamic policies start mid-table; the governor settles them.
+		initial = tab.ByIndex(tab.Len() / 2)
+	}
+	if cfg.PerCoreDVFS {
+		c.Chip = cpu.NewPerCore(eng, cfg.Cores, tab, power.DefaultModel(), initial)
+	} else {
+		c.Chip = cpu.New(eng, cfg.Cores, tab, power.DefaultModel(), initial)
+	}
+	c.Kernel = oskernel.New(c.Chip)
+
+	// Network fabric and server NIC.
+	c.sw = netsim.NewSwitch(eng, 500*sim.Nanosecond)
+	nicCfg := cfg.NIC
+	if cfg.Queues > 1 {
+		nicCfg.Queues = cfg.Queues
+	}
+	c.NIC = nic.New(eng, ServerAddr, nicCfg)
+	c.NIC.SetLink(netsim.NewLink(eng, cfg.Link, c.sw))
+	c.sw.Attach(ServerAddr, cfg.Link, c.NIC)
+
+	// Governors.
+	if cfg.Policy.UsesOndemand() {
+		invoke := func(cycles int64, fn func()) {
+			c.Chip.Core(0).Submit(&cpu.Work{Name: "ondemand", Cycles: cycles, Prio: cpu.PrioIRQ, OnDone: fn})
+		}
+		c.Ond = governor.NewOndemand(c.Chip, cfg.OndemandPeriod, invoke)
+	}
+	if cfg.Policy.UsesMenu() {
+		c.Menu = governor.NewMenu(c.Chip, c.Kernel.TimerHint())
+		for _, core := range c.Chip.Cores() {
+			core.SetIdleDecider(c.Menu)
+		}
+	}
+
+	// Driver with the policy's power hooks.
+	if cfg.TOE {
+		cfg.Driver.TOEFactor = 0.5
+	}
+	hooks := c.buildHooks()
+	var server *app.Server
+	c.Driver = driver.New(c.Kernel, c.NIC, cfg.Driver, hooks, func(p *netsim.Packet, pollCore int) {
+		server.HandleDelivered(p, pollCore)
+	})
+	server = app.NewServer(c.Kernel, c.Driver, cfg.Workload,
+		sim.NewRand(cfg.Seed, "server"), ServerAddr)
+	server.Affine = cfg.Queues > 1
+	c.Server = server
+
+	// NCAP embodiments. Template programming models the driver-init
+	// sysfs writes (Sec. 4.1).
+	templates := cfg.Workload.Templates
+	if cfg.NaiveNCAP {
+		// Context-unaware strawman: also treat bulk traffic ("PUT ...")
+		// as rate-trigger input.
+		templates = append(append([]string{}, templates...), "PU")
+	}
+	if cfg.Policy.UsesNCAPHardware() {
+		for _, q := range c.NIC.Queues() {
+			state := core.ChipState(chipState{c.Chip})
+			if cfg.PerCoreDVFS {
+				// Each queue's DecisionEngine judges and steers its own
+				// target core's DVFS domain (Sec. 7 extension).
+				state = domainState{
+					dom: c.Chip.Core(q.ID() % cfg.Cores).Domain(),
+					tab: c.Chip.Table(),
+				}
+			}
+			q.EnableNCAP(cfg.ncapConfig(), state)
+			q.Monitor().ProgramStrings(templates...)
+		}
+	}
+	if cfg.Policy.UsesNCAPSoftware() {
+		c.Driver.EnableSoftwareNCAP(cfg.ncapConfig(), chipState{c.Chip}, templates...)
+	}
+
+	// Clients, phase-staggered across the period.
+	period := app.TargetPeriodFor(cfg.LoadRPS, cfg.BurstSize, cfg.Clients)
+	payload := cfg.Workload.RequestPayload()
+	for i := 0; i < cfg.Clients; i++ {
+		addr := firstClientAddr + netsim.Addr(i)
+		ccfg := app.DefaultClientConfig()
+		ccfg.BurstSize = cfg.BurstSize
+		ccfg.Period = period
+		if cfg.Workload.RequestSpacing > 0 {
+			ccfg.Spacing = cfg.Workload.RequestSpacing
+		}
+		ccfg.StartOffset = period * sim.Duration(i) / sim.Duration(cfg.Clients)
+		cl := app.NewClient(eng, addr, ServerAddr,
+			netsim.NewLink(eng, cfg.Link, c.sw), payload, ccfg,
+			sim.NewRand(cfg.Seed, "client"+string(rune('0'+i))))
+		c.sw.Attach(addr, cfg.Link, cl)
+		c.Clients = append(c.Clients, cl)
+	}
+
+	// Optional background bulk traffic.
+	if cfg.BulkBps > 0 {
+		c.Bulk = app.NewBulkSender(eng, bulkAddr, ServerAddr,
+			netsim.NewLink(eng, cfg.Link, c.sw), cfg.BulkBps, 1400)
+	}
+
+	// Optional tracing.
+	if cfg.TraceInterval > 0 {
+		c.Sampler = trace.NewSampler(c.Chip, c.NIC, cfg.TraceInterval, c.wakeCounter())
+	}
+	return c
+}
+
+// buildHooks wires the enhanced interrupt handler's power levers
+// (Fig. 5(d)) to this cluster's chip and governors.
+func (c *Cluster) buildHooks() driver.PowerHooks {
+	if !c.cfg.Policy.UsesNCAPHardware() && !c.cfg.Policy.UsesNCAPSoftware() {
+		return driver.PowerHooks{}
+	}
+	fcons := c.cfg.ncapConfig().FCONS
+	tab := c.Chip.Table()
+	step := (tab.Len() - 1 + fcons - 1) / fcons // ceil((states-1)/FCONS)
+	h := driver.PowerHooks{
+		Boost:    c.Chip.Boost,
+		StepDown: func() { c.Chip.SetPState(tab.StepTowardMin(c.Chip.Target(), step)) },
+	}
+	if c.cfg.PerCoreDVFS {
+		h.BoostCore = func(id int) { c.Chip.Core(id).Domain().Boost() }
+		h.StepDownCore = func(id int) { c.Chip.Core(id).Domain().StepTowardMin(step) }
+	}
+	if c.Menu != nil {
+		h.MenuEnable = func() {
+			c.Menu.Enable()
+			// Governor change kicks idle cores so they re-select (the
+			// kernel's wake_up_all_idle_cpus on cpuidle state change);
+			// cores halted in C1 at high voltage move to deep sleep.
+			for _, core := range c.Chip.Cores() {
+				core.KickIdle()
+			}
+		}
+		h.MenuDisable = c.Menu.Disable
+		if c.cfg.Queues > 1 {
+			// Per-core menu control: a burst on queue q restricts only
+			// q's target core (Sec. 7 extension).
+			h.MenuDisableCore = c.Menu.DisableCore
+			h.MenuEnableCore = func(id int) {
+				c.Menu.EnableCore(id)
+				c.Chip.Core(id).KickIdle()
+			}
+		}
+	}
+	if c.Ond != nil {
+		h.OndemandInhibit = c.Ond.Inhibit
+	}
+	return h
+}
+
+// wakeCounter returns the cumulative proactive-transition interrupt count
+// (IT_HIGH boosts plus CIT wakes) for the INT(wake) trace markers.
+func (c *Cluster) wakeCounter() func() int64 {
+	if c.cfg.Policy.UsesNCAPHardware() {
+		return func() int64 {
+			var n int64
+			for _, q := range c.NIC.Queues() {
+				d := q.Decision()
+				n += d.Highs.Value() + d.Wakes.Value()
+			}
+			return n
+		}
+	}
+	if c.cfg.Policy.UsesNCAPSoftware() {
+		return func() int64 {
+			d := c.Driver.SWDecision()
+			return d.Highs.Value() + d.Wakes.Value()
+		}
+	}
+	return nil
+}
+
+// Engine exposes the simulation engine (examples and tests).
+func (c *Cluster) Engine() *sim.Engine { return c.eng }
+
+// Switch exposes the network fabric so additional endpoints (bulk
+// sources, alternative client designs) can be attached before Run.
+func (c *Cluster) Switch() *netsim.Switch { return c.sw }
+
+// Config returns the experiment configuration.
+func (c *Cluster) Config() Config { return c.cfg }

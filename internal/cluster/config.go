@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"fmt"
+
+	"ncap/internal/app"
+	"ncap/internal/core"
+	"ncap/internal/driver"
+	"ncap/internal/netsim"
+	"ncap/internal/nic"
+	"ncap/internal/sim"
+)
+
+// Config describes one experiment: a policy, a workload, a load level and
+// the machine parameters (defaults reproduce Table 1).
+type Config struct {
+	// Policy selects the power-management configuration.
+	Policy Policy
+	// Workload is the server application profile.
+	Workload app.Profile
+	// LoadRPS is the aggregate offered load across all clients.
+	LoadRPS float64
+	// Clients is the number of load-generating nodes (the paper uses 3).
+	Clients int
+	// Cores is the server core count (Table 1: 4).
+	Cores int
+	// BurstSize is each client's requests per burst.
+	BurstSize int
+	// Seed drives every random stream; same seed → identical run.
+	Seed uint64
+	// Warmup is discarded; Measure is the accounting window; Drain lets
+	// in-flight requests complete after Measure.
+	Warmup, Measure, Drain sim.Duration
+	// OndemandPeriod overrides the governor invocation period (0 = 10 ms).
+	OndemandPeriod sim.Duration
+	// NCAP carries the DecisionEngine thresholds; FCONS is overridden by
+	// the policy unless OverrideFCONS is set.
+	NCAP          core.Config
+	OverrideFCONS bool
+	// NIC, Driver and Link override device parameters (zero = defaults).
+	NIC    nic.Config
+	Driver driver.Config
+	Link   netsim.LinkConfig
+	// BulkBps adds background non-latency-critical traffic (ablation E-ctx).
+	BulkBps int64
+	// NaiveNCAP reprograms the templates to match *any* payload — the
+	// context-unaware strawman of Sec. 4.1 (ablation).
+	NaiveNCAP bool
+	// TraceInterval enables time-series sampling when positive.
+	TraceInterval sim.Duration
+	// Queues > 1 enables the Sec. 7 multi-queue NIC extension: RSS steers
+	// flows to per-core queues with their own MSI-X vectors, NAPI
+	// contexts and NCAP blocks, and application tasks become flow-affine.
+	Queues int
+	// PerCoreDVFS gives every core its own DVFS domain (Sec. 7), letting
+	// per-queue NCAP steer only the target core's P-state.
+	PerCoreDVFS bool
+	// TOE enables the NIC's TCP offload engines (Sec. 7): per-packet
+	// stack costs halve and NCAP's rate thresholds scale up to match the
+	// higher sustainable packet rate.
+	TOE bool
+}
+
+// DefaultBurstSize returns the per-client burst size that keeps the burst
+// period inside the paper's 1.3–20 ms range (Sec. 5) at the workload's
+// evaluated load levels: Apache's slower request stream uses the paper's
+// example 200-request bursts; Memcached's denser stream uses 100.
+func DefaultBurstSize(workload app.Profile) int {
+	if workload.Name == "memcached" {
+		return 100
+	}
+	return 200
+}
+
+// DefaultConfig returns a ready-to-run experiment at the given operating
+// point with Table 1 machine parameters.
+func DefaultConfig(policy Policy, workload app.Profile, loadRPS float64) Config {
+	return Config{
+		Policy:    policy,
+		Workload:  workload,
+		LoadRPS:   loadRPS,
+		Clients:   3,
+		Cores:     4,
+		BurstSize: DefaultBurstSize(workload),
+		Seed:      1,
+		Warmup:    100 * sim.Millisecond,
+		Measure:   400 * sim.Millisecond,
+		Drain:     100 * sim.Millisecond,
+		NCAP:      core.DefaultConfig(),
+		NIC:       nic.DefaultConfig(),
+		Driver:    driver.DefaultConfig(),
+		Link:      netsim.DefaultLinkConfig(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if _, err := ParsePolicy(string(c.Policy)); err != nil {
+		return err
+	}
+	if err := c.Workload.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.LoadRPS <= 0:
+		return fmt.Errorf("cluster: load must be positive")
+	case c.Clients <= 0:
+		return fmt.Errorf("cluster: need at least one client")
+	case c.Cores <= 0:
+		return fmt.Errorf("cluster: need at least one core")
+	case c.BurstSize <= 0:
+		return fmt.Errorf("cluster: burst size must be positive")
+	case c.Warmup < 0 || c.Measure <= 0 || c.Drain < 0:
+		return fmt.Errorf("cluster: bad warmup/measure/drain windows")
+	case c.Queues > 1 && c.Policy.UsesNCAPHardware() && !c.PerCoreDVFS:
+		// Sec. 7 pairs multi-queue NCAP with per-core power management:
+		// with a shared chip-wide frequency, an idle queue's IT_LOW
+		// interrupts would fight the busy queues' boosts.
+		return fmt.Errorf("cluster: multi-queue NCAP requires PerCoreDVFS")
+	}
+	return c.ncapConfig().Validate()
+}
+
+// ncapConfig resolves the effective DecisionEngine config for the policy.
+func (c Config) ncapConfig() core.Config {
+	n := c.NCAP
+	if !c.OverrideFCONS {
+		n.FCONS = c.Policy.FCONS()
+	}
+	if c.TOE {
+		// Sec. 7: a TOE-capable server sustains a higher packet rate at
+		// the same performance state, so the rate thresholds scale up.
+		n.RHT *= 1.5
+		n.RLT *= 1.5
+	}
+	if c.Queues > 1 {
+		// Per-queue engines each see ~1/Queues of the request stream; the
+		// thresholds divide so a burst on one flow still registers.
+		n.RHT /= float64(c.Queues)
+		n.RLT /= float64(c.Queues)
+	}
+	return n
+}

@@ -1,0 +1,123 @@
+// Package cluster assembles complete simulated nodes — processor, kernel,
+// NIC, driver, application — into the paper's four-node evaluation
+// topology (one OLDI server, three open-loop clients behind a switch) and
+// runs policy/load experiments (Sec. 5, Sec. 6).
+package cluster
+
+import (
+	"fmt"
+
+	"ncap/internal/sim"
+)
+
+// Policy names one of the seven power-management configurations evaluated
+// in Sec. 6.
+type Policy string
+
+// The four conventional policies and three NCAP variants.
+const (
+	// Perf disables C-states and pins P0 (performance governor only).
+	Perf Policy = "perf"
+	// Ond disables C-states and runs the ondemand governor.
+	Ond Policy = "ond"
+	// PerfIdle combines the performance and menu governors.
+	PerfIdle Policy = "perf.idle"
+	// OndIdle combines the ondemand and menu governors.
+	OndIdle Policy = "ond.idle"
+	// NcapSW is the software NCAP implementation atop ond.idle.
+	NcapSW Policy = "ncap.sw"
+	// NcapCons is hardware NCAP with FCONS=5 (conservative slow-down).
+	NcapCons Policy = "ncap.cons"
+	// NcapAggr is hardware NCAP with FCONS=1 (aggressive slow-down).
+	NcapAggr Policy = "ncap.aggr"
+)
+
+// AllPolicies returns the seven policies in the paper's presentation order.
+func AllPolicies() []Policy {
+	return []Policy{Perf, Ond, PerfIdle, OndIdle, NcapSW, NcapCons, NcapAggr}
+}
+
+// ParsePolicy validates a policy name.
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range AllPolicies() {
+		if string(p) == s {
+			return p, nil
+		}
+	}
+	return "", fmt.Errorf("cluster: unknown policy %q (want one of %v)", s, AllPolicies())
+}
+
+// UsesOndemand reports whether the policy runs the ondemand governor.
+func (p Policy) UsesOndemand() bool { return p != Perf && p != PerfIdle }
+
+// UsesMenu reports whether the policy runs the menu cpuidle governor.
+func (p Policy) UsesMenu() bool { return p != Perf && p != Ond }
+
+// UsesNCAPHardware reports whether the policy uses the enhanced NIC.
+func (p Policy) UsesNCAPHardware() bool { return p == NcapCons || p == NcapAggr }
+
+// UsesNCAPSoftware reports whether the policy uses the driver-level NCAP.
+func (p Policy) UsesNCAPSoftware() bool { return p == NcapSW }
+
+// FCONS returns the policy's frequency-reduction step count.
+func (p Policy) FCONS() int {
+	if p == NcapCons {
+		return 5
+	}
+	return 1
+}
+
+// LoadLevel indexes the paper's three operating points per workload.
+type LoadLevel int
+
+// Load levels from Sec. 6.
+const (
+	LowLoad LoadLevel = iota
+	MediumLoad
+	HighLoad
+)
+
+func (l LoadLevel) String() string {
+	switch l {
+	case LowLoad:
+		return "low"
+	case MediumLoad:
+		return "medium"
+	case HighLoad:
+		return "high"
+	}
+	return fmt.Sprintf("load?%d", int(l))
+}
+
+// LoadRPS returns the paper's request rates: 24/45/66 K RPS for Apache and
+// 35/127/138 K RPS for Memcached (Sec. 6).
+func LoadRPS(workload string, l LoadLevel) float64 {
+	apache := workload == "apache"
+	switch l {
+	case LowLoad:
+		if apache {
+			return 24_000
+		}
+		return 35_000
+	case MediumLoad:
+		if apache {
+			return 45_000
+		}
+		return 127_000
+	case HighLoad:
+		if apache {
+			return 66_000
+		}
+		return 138_000
+	}
+	panic(fmt.Sprintf("cluster: bad load level %d", int(l)))
+}
+
+// PaperSLA returns the paper's measured SLA (95th percentile at the
+// latency-load inflexion point): 41 ms for Apache, 3 ms for Memcached.
+func PaperSLA(workload string) sim.Duration {
+	if workload == "apache" {
+		return 41 * sim.Millisecond
+	}
+	return 3 * sim.Millisecond
+}

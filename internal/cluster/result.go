@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+
+	"ncap/internal/governor"
+	"ncap/internal/power"
+	"ncap/internal/sim"
+	"ncap/internal/stats"
+	"ncap/internal/trace"
+)
+
+// Result carries everything an experiment measures.
+type Result struct {
+	Policy   Policy
+	Workload string
+	LoadRPS  float64
+
+	// Latency is the client-observed RTT distribution over the
+	// measurement window (all clients merged).
+	Latency stats.Summary
+	// EnergyJ is processor package energy over the measurement window;
+	// AvgPowerW is the corresponding mean power.
+	EnergyJ   float64
+	AvgPowerW float64
+
+	// ServedRPS is the achieved service rate.
+	ServedRPS float64
+	// Request accounting across clients.
+	Sent, Completed, Retransmits, Abandoned int64
+	// RxDrops counts NIC descriptor-exhaustion losses; IRQs the hardware
+	// interrupts the NIC posted over the measurement window.
+	RxDrops int64
+	IRQs    int64
+
+	// CResidency is total core-time per C-state; CEntries the entry
+	// counts (short entries are the Sec. 3 inefficiency signal).
+	CResidency map[power.CState]sim.Duration
+	CEntries   map[power.CState]int
+
+	// Power-action accounting.
+	Boosts, StepDowns, CITWakes int64
+	PStateTransitions           int64
+	GovernorInvocations         int64
+
+	// Sampler holds the time-series trace when enabled.
+	Sampler *trace.Sampler
+
+	// Events is the simulator event count (progress metric).
+	Events uint64
+}
+
+// Run executes the experiment: warmup, measured window, drain; it returns
+// the collected result.
+func (c *Cluster) Run() Result {
+	cfg := c.cfg
+	if c.Ond != nil {
+		c.Ond.Start()
+	} else if cfg.Policy == Perf || cfg.Policy == PerfIdle {
+		governor.Performance(c.Chip)
+	}
+	for _, cl := range c.Clients {
+		cl.Start()
+	}
+	if c.Bulk != nil {
+		c.Bulk.Start()
+	}
+
+	// Warmup.
+	c.eng.Run(cfg.Warmup)
+
+	// Measurement boundary: zero all accounting.
+	c.Chip.ResetStats()
+	c.NIC.ResetStats()
+	c.Driver.ResetStats()
+	c.Server.ResetStats()
+	for _, cl := range c.Clients {
+		cl.BeginMeasurement()
+	}
+	if c.Sampler != nil {
+		c.Sampler.Start()
+	}
+
+	// Measured window: all machine-side accounting (energy, residencies,
+	// action counters) is snapshotted at its end.
+	measureEnd := cfg.Warmup + cfg.Measure
+	c.eng.Run(measureEnd)
+	res := c.collect(c.Chip.EnergyJoules())
+
+	// Drain: stop offering load and let in-flight requests complete, then
+	// fold their latencies in (they were sent inside the window).
+	for _, cl := range c.Clients {
+		cl.Stop()
+	}
+	if c.Bulk != nil {
+		c.Bulk.Stop()
+	}
+	if c.Sampler != nil {
+		c.Sampler.Stop()
+	}
+	c.eng.Run(measureEnd + cfg.Drain)
+	c.mergeClientStats(&res)
+	return res
+}
+
+// mergeClientStats refreshes the client-side request accounting (latency
+// distribution, completion counters) after the drain window. ServedRPS is
+// deliberately left at its measure-window value: completions landing in
+// the drain belong in the latency distribution (their requests were sent
+// inside the window) but would overstate the service *rate*.
+func (c *Cluster) mergeClientStats(res *Result) {
+	merged := stats.NewLatencyRecorder()
+	res.Sent, res.Completed, res.Retransmits, res.Abandoned = 0, 0, 0, 0
+	for _, cl := range c.Clients {
+		for _, d := range cl.Latency().Samples() {
+			merged.Record(d)
+		}
+		res.Sent += cl.Sent.Value()
+		res.Completed += cl.Completed.Value()
+		res.Retransmits += cl.Retransmits.Value()
+		res.Abandoned += cl.Abandoned.Value()
+	}
+	res.Latency = merged.Summarize()
+}
+
+func (c *Cluster) collect(energyJ float64) Result {
+	cfg := c.cfg
+	merged := stats.NewLatencyRecorder()
+	var sent, completed, retrans, abandoned int64
+	for _, cl := range c.Clients {
+		for _, d := range cl.Latency().Samples() {
+			merged.Record(d)
+		}
+		sent += cl.Sent.Value()
+		completed += cl.Completed.Value()
+		retrans += cl.Retransmits.Value()
+		abandoned += cl.Abandoned.Value()
+	}
+
+	res := Result{
+		Policy:    cfg.Policy,
+		Workload:  cfg.Workload.Name,
+		LoadRPS:   cfg.LoadRPS,
+		Latency:   merged.Summarize(),
+		EnergyJ:   energyJ,
+		AvgPowerW: energyJ / cfg.Measure.Seconds(),
+		ServedRPS: float64(completed) / cfg.Measure.Seconds(),
+		Sent:      sent, Completed: completed,
+		Retransmits: retrans, Abandoned: abandoned,
+		RxDrops:           c.NIC.RxDrops.Value(),
+		IRQs:              c.NIC.IRQs.Value(),
+		CResidency:        map[power.CState]sim.Duration{},
+		CEntries:          map[power.CState]int{},
+		Boosts:            c.Driver.Boosts.Value(),
+		StepDowns:         c.Driver.StepDowns.Value(),
+		PStateTransitions: c.Chip.Transitions(),
+		Sampler:           c.Sampler,
+		Events:            c.eng.Fired(),
+	}
+	for _, core := range c.Chip.Cores() {
+		for _, s := range []power.CState{power.C1, power.C3, power.C6} {
+			res.CResidency[s] += core.CTime(s)
+			res.CEntries[s] += core.CEntries(s)
+		}
+	}
+	if c.NIC.NCAPEnabled() {
+		for _, q := range c.NIC.Queues() {
+			res.CITWakes += q.Decision().Wakes.Value()
+		}
+	} else if c.Driver.SoftwareNCAP() {
+		res.CITWakes = c.Driver.SWDecision().Wakes.Value()
+	}
+	if c.Ond != nil {
+		res.GovernorInvocations = c.Ond.Invocations.Value()
+	}
+	return res
+}
+
+// WriteRow prints the result as a fixed-width table row.
+func (r Result) WriteRow(w io.Writer) {
+	fmt.Fprintf(w, "%-10s %-10s %8.0f  p50=%8.3fms p95=%8.3fms p99=%8.3fms  E=%7.2fJ P=%6.2fW  served=%7.0f/s drops=%d\n",
+		r.Policy, r.Workload, r.LoadRPS,
+		r.Latency.P50.Millis(), r.Latency.P95.Millis(), r.Latency.P99.Millis(),
+		r.EnergyJ, r.AvgPowerW, r.ServedRPS, r.RxDrops)
+}
+
+// MeetsSLA reports whether the 95th-percentile latency is within sla.
+func (r Result) MeetsSLA(sla sim.Duration) bool { return r.Latency.P95 <= sla }

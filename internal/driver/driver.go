@@ -1,0 +1,367 @@
+// Package driver models the NIC device driver: the hardware interrupt
+// handler (enhanced per Fig. 5(d) to act on IT_HIGH/IT_LOW), the NAPI-style
+// NET_RX softirq receive path, the transmit path, and the software
+// implementation of NCAP (ncap.sw) that the paper compares against — the
+// same ReqMonitor/DecisionEngine logic run in softirq context plus a 1 ms
+// kernel timer, paying CPU cycles for every inspection (Sec. 5).
+//
+// With a multi-queue NIC (Sec. 7 extension) the driver registers one
+// MSI-X vector and one NAPI context per queue, pinned to the queue's
+// target core, and routes IT_HIGH/IT_LOW to that core's power hooks.
+package driver
+
+import (
+	"ncap/internal/core"
+	"ncap/internal/netsim"
+	"ncap/internal/nic"
+	"ncap/internal/oskernel"
+	"ncap/internal/sim"
+	"ncap/internal/stats"
+)
+
+// Config carries the driver's CPU cost model (cycles at the executing
+// frequency) and NAPI parameters.
+type Config struct {
+	// IRQCycles is the hard IRQ handler cost: register save, the ICR read
+	// over PCIe (the dominant term), cause demultiplexing.
+	IRQCycles int64
+	// SoftIRQCycles is the do_softirq dispatch overhead per run.
+	SoftIRQCycles int64
+	// RxPacketCycles is the network-stack cost per received packet
+	// (driver unhook, skb handling, IP/TCP receive, socket demux).
+	RxPacketCycles int64
+	// TxPacketCycles is the transmit-path cost per packet.
+	TxPacketCycles int64
+	// NAPIBudget is the poll batch size.
+	NAPIBudget int
+	// SWInspectCycles is ncap.sw's extra per-packet ReqMonitor cost.
+	SWInspectCycles int64
+	// SWTimerCycles is ncap.sw's 1 ms DecisionEngine timer cost.
+	SWTimerCycles int64
+	// TOE offloads TCP segmentation/checksums to the NIC (Sec. 7): the
+	// per-packet stack costs drop to the given fraction of their
+	// configured values (1 disables the offload, 0.5 halves them).
+	TOEFactor float64
+}
+
+// DefaultConfig returns costs calibrated for a 3.1 GHz core: ~2 µs hard
+// IRQ (ICR read), ~1 µs softirq dispatch, ~2 µs per-packet stack cost.
+func DefaultConfig() Config {
+	return Config{
+		IRQCycles:       6200,
+		SoftIRQCycles:   3100,
+		RxPacketCycles:  6200,
+		TxPacketCycles:  3100,
+		NAPIBudget:      64,
+		SWInspectCycles: 2500,
+		SWTimerCycles:   15_000,
+		TOEFactor:       1,
+	}
+}
+
+func (c Config) rxCycles() int64 { return scaled(c.RxPacketCycles, c.TOEFactor) }
+func (c Config) txCycles() int64 { return scaled(c.TxPacketCycles, c.TOEFactor) }
+
+func scaled(cycles int64, factor float64) int64 {
+	if factor <= 0 || factor >= 1 {
+		return cycles
+	}
+	return int64(float64(cycles) * factor)
+}
+
+// PowerHooks are the driver's levers over the power-management stack,
+// wired up by the node assembly. Any may be nil (policy absent). The
+// *Core variants take precedence when set, enabling per-core steering
+// with a multi-queue NIC.
+type PowerHooks struct {
+	// Boost sets the chip frequency to the maximum (P0).
+	Boost func()
+	// BoostCore boosts only the given core's DVFS domain.
+	BoostCore func(coreID int)
+	// StepDown lowers the frequency by one IT_LOW step of the FCONS walk.
+	StepDown func()
+	// StepDownCore lowers only the given core's domain.
+	StepDownCore func(coreID int)
+	// MenuEnable / MenuDisable toggle the cpuidle menu governor.
+	MenuEnable  func()
+	MenuDisable func()
+	// MenuEnableCore / MenuDisableCore toggle it for one core.
+	MenuEnableCore  func(coreID int)
+	MenuDisableCore func(coreID int)
+	// OndemandInhibit suspends the ondemand governor for one period.
+	OndemandInhibit func()
+}
+
+// Deliver hands a received packet to the application socket layer along
+// with the core that polled it (for flow-affine task placement).
+type Deliver func(p *netsim.Packet, coreID int)
+
+// queueCtx binds one NIC queue to its interrupt vector and NAPI context.
+type queueCtx struct {
+	d      *Driver
+	q      *nic.Queue
+	coreID int
+	irq    *oskernel.IRQ
+	napi   *oskernel.SoftIRQ
+	menu   bool // this queue holds a menu-disable reference
+}
+
+// Driver binds a NIC to a kernel.
+type Driver struct {
+	k       *oskernel.Kernel
+	dev     *nic.NIC
+	cfg     Config
+	hooks   PowerHooks
+	ctxs    []*queueCtx
+	deliver Deliver
+
+	// menuRefs counts menu-disable holders per core (several queues can
+	// share a core): the governor is disabled at 0→1 and re-enabled at
+	// 1→0, so one queue's IT_LOW cannot re-enable deep sleep while a
+	// sibling queue's burst is still protected.
+	menuRefs map[int]int
+
+	// ncap.sw state (nil unless EnableSoftwareNCAP was called).
+	swMon   *core.ReqMonitor
+	swTxc   *core.TxBytesCounter
+	swDec   *core.DecisionEngine
+	swTimer *oskernel.Timer
+	swMenu  bool
+
+	// Polls counts NAPI poll batches; Delivered counts packets handed to
+	// the application; Boosts/StepDowns count power actions taken.
+	Polls     stats.Counter
+	Delivered stats.Counter
+	Boosts    stats.Counter
+	StepDowns stats.Counter
+}
+
+// New initializes the driver: one interrupt vector and NET_RX softirq per
+// NIC queue (queue i pinned to core i mod cores, like irqbalance with
+// RSS), and wires the NIC's interrupt lines. deliver receives each packet
+// after stack processing.
+func New(k *oskernel.Kernel, dev *nic.NIC, cfg Config, hooks PowerHooks, deliver Deliver) *Driver {
+	if deliver == nil {
+		panic("driver: nil deliver callback")
+	}
+	d := &Driver{k: k, dev: dev, cfg: cfg, hooks: hooks, deliver: deliver, menuRefs: map[int]int{}}
+	cores := len(k.Chip().Cores())
+	for _, q := range dev.Queues() {
+		ctx := &queueCtx{d: d, q: q, coreID: q.ID() % cores}
+		ctx.irq = k.NewIRQOn(ctx.coreID, "nic-irq", cfg.IRQCycles, ctx.handleIRQ)
+		ctx.napi = k.NewSoftIRQ("net_rx", ctx.coreID, cfg.SoftIRQCycles, ctx.poll)
+		q.SetIRQ(ctx.irq.Assert)
+		d.ctxs = append(d.ctxs, ctx)
+	}
+	return d
+}
+
+// Device returns the driven NIC.
+func (d *Driver) Device() *nic.NIC { return d.dev }
+
+// QueueCore returns the core serving NIC queue q.
+func (d *Driver) QueueCore(q int) int { return d.ctxs[q].coreID }
+
+// EnableSoftwareNCAP activates the ncap.sw variant: ReqMonitor runs per
+// packet in the softirq (costing SWInspectCycles each), TxBytesCounter in
+// the transmit path, and a 1 ms kernel timer evaluates DecisionEngine
+// (Sec. 5). templates mirror the sysfs programming of the hardware path.
+func (d *Driver) EnableSoftwareNCAP(cfg core.Config, chip core.ChipState, templates ...string) {
+	d.swMon = core.NewReqMonitor()
+	d.swMon.ProgramStrings(templates...)
+	d.swTxc = &core.TxBytesCounter{}
+	d.swDec = core.NewDecisionEngine(cfg, chip, d.k.Engine().Now())
+	d.swTimer = d.k.NewTimer("ncap-sw", d.k.IRQCore(), d.cfg.SWTimerCycles, d.swTick)
+	d.swTimer.ArmPeriodic(sim.Millisecond)
+}
+
+// SoftwareNCAP reports whether the ncap.sw variant is active.
+func (d *Driver) SoftwareNCAP() bool { return d.swDec != nil }
+
+// SWDecision exposes the software decision engine for tests and traces.
+func (d *Driver) SWDecision() *core.DecisionEngine { return d.swDec }
+
+// handleIRQ is the enhanced NIC hardware interrupt handler (Fig. 5(d)).
+func (c *queueCtx) handleIRQ() {
+	causes := c.q.ReadICR()
+	if causes&nic.ITHigh != 0 {
+		c.actHigh()
+	}
+	if causes&nic.ITLow != 0 {
+		c.actLow()
+	}
+	if causes&nic.ITRx != 0 {
+		// NAPI: mask rx interrupts and defer to the polling softirq. For a
+		// pure CIT wake (nothing DMA'd yet) the poll finds an empty ring
+		// and unmasks again — the interrupt's purpose was the wake itself.
+		c.q.MaskRxIRQ()
+		c.napi.Raise()
+	}
+}
+
+// actHigh performs the IT_HIGH sequence from Sec. 4.3: (1) F to max,
+// (2) disable the menu governor, (3) inhibit ondemand for one period —
+// scoped to this queue's core when per-core hooks are wired.
+func (c *queueCtx) actHigh() {
+	d := c.d
+	d.Boosts.Inc()
+	switch {
+	case d.hooks.BoostCore != nil:
+		d.hooks.BoostCore(c.coreID)
+	case d.hooks.Boost != nil:
+		d.hooks.Boost()
+	}
+	if !c.menu && (d.hooks.MenuDisableCore != nil || d.hooks.MenuDisable != nil) {
+		c.menu = true
+		// Per-core hooks refcount on the queue's core; the global hook
+		// refcounts on a single shared key so several queues' bursts
+		// cannot re-enable the governor under each other.
+		key := c.coreID
+		if d.hooks.MenuDisableCore == nil {
+			key = -1
+		}
+		d.menuRefs[key]++
+		if d.menuRefs[key] == 1 {
+			if d.hooks.MenuDisableCore != nil {
+				d.hooks.MenuDisableCore(c.coreID)
+			} else {
+				d.hooks.MenuDisable()
+			}
+		}
+	}
+	if d.hooks.OndemandInhibit != nil {
+		d.hooks.OndemandInhibit()
+	}
+}
+
+// actLow handles IT_LOW: re-enable the menu governor on the first IT_LOW
+// after a high period, and walk the frequency down one FCONS step.
+func (c *queueCtx) actLow() {
+	d := c.d
+	d.StepDowns.Inc()
+	if c.menu {
+		c.menu = false
+		key := c.coreID
+		if d.hooks.MenuEnableCore == nil {
+			key = -1
+		}
+		d.menuRefs[key]--
+		if d.menuRefs[key] == 0 {
+			if d.hooks.MenuEnableCore != nil {
+				d.hooks.MenuEnableCore(c.coreID)
+			} else if d.hooks.MenuEnable != nil {
+				d.hooks.MenuEnable()
+			}
+		}
+	}
+	switch {
+	case d.hooks.StepDownCore != nil:
+		d.hooks.StepDownCore(c.coreID)
+	case d.hooks.StepDown != nil:
+		d.hooks.StepDown()
+	}
+}
+
+// poll is the NET_RX softirq handler: drain a budget of packets and
+// process them one at a time — each packet pays its stack cost and is
+// handed to the socket layer as soon as its own processing completes, as
+// NAPI does, rather than at the end of the batch.
+func (c *queueCtx) poll() {
+	pkts := c.q.Poll(c.d.cfg.NAPIBudget)
+	if len(pkts) == 0 {
+		c.q.UnmaskRxIRQ()
+		return
+	}
+	c.d.Polls.Inc()
+	c.processFrom(pkts, 0)
+}
+
+func (c *queueCtx) processFrom(pkts []*netsim.Packet, i int) {
+	d := c.d
+	if i == len(pkts) {
+		if c.q.RxPending() > 0 {
+			c.napi.Raise()
+		} else {
+			c.q.UnmaskRxIRQ()
+		}
+		return
+	}
+	cycles := d.cfg.rxCycles()
+	if d.swMon != nil {
+		cycles += d.cfg.SWInspectCycles
+	}
+	c.napi.Run(cycles, func() {
+		p := pkts[i]
+		if d.swMon != nil {
+			d.swMon.Inspect(p.Payload)
+		}
+		d.Delivered.Inc()
+		d.deliver(p, c.coreID)
+		c.processFrom(pkts, i+1)
+	})
+}
+
+// Send transmits response packets on the given core. The tx stack cost
+// runs in NET_TX softirq context: it preempts queued application tasks
+// (responses leave as soon as their request completes, they do not wait
+// behind the rest of the run queue) but yields to hard interrupts.
+func (d *Driver) Send(coreID int, pkts []*netsim.Packet) {
+	if len(pkts) == 0 {
+		return
+	}
+	cycles := int64(len(pkts)) * d.cfg.txCycles()
+	d.k.SubmitSoftIRQOn(coreID, "net_tx", cycles, func() {
+		for _, p := range pkts {
+			if d.dev.Transmit(p) && d.swTxc != nil {
+				d.swTxc.Add(p.WireSize())
+			}
+		}
+	})
+}
+
+// swTick is ncap.sw's 1 ms DecisionEngine evaluation (kernel timer).
+func (d *Driver) swTick() {
+	act := d.swDec.OnMITTExpiry(d.k.Engine().Now(), d.swMon.TakeReqCnt(), d.swTxc.TakeTxCnt(), sim.Millisecond)
+	if act.High {
+		d.swActHigh()
+	}
+	if act.Low {
+		d.swActLow()
+	}
+}
+
+func (d *Driver) swActHigh() {
+	d.Boosts.Inc()
+	if d.hooks.Boost != nil {
+		d.hooks.Boost()
+	}
+	if d.hooks.MenuDisable != nil {
+		d.hooks.MenuDisable()
+		d.swMenu = true
+	}
+	if d.hooks.OndemandInhibit != nil {
+		d.hooks.OndemandInhibit()
+	}
+}
+
+func (d *Driver) swActLow() {
+	d.StepDowns.Inc()
+	if d.swMenu && d.hooks.MenuEnable != nil {
+		d.hooks.MenuEnable()
+		d.swMenu = false
+	}
+	if d.hooks.StepDown != nil {
+		d.hooks.StepDown()
+	}
+}
+
+// ResetStats zeroes driver counters at the warmup boundary.
+func (d *Driver) ResetStats() {
+	d.Polls.Reset()
+	d.Delivered.Reset()
+	d.Boosts.Reset()
+	d.StepDowns.Reset()
+	if d.swDec != nil {
+		d.swDec.ResetStats()
+	}
+}

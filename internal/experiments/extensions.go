@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"ncap/internal/app"
+	"ncap/internal/cluster"
+)
+
+// The Sec. 7 extensions: the paper sketches how NCAP generalizes to
+// multi-queue NICs with per-core power management and to TOE-capable
+// NICs. These experiments quantify both on the same workloads.
+
+// ExtensionRow is one extension configuration's outcome.
+type ExtensionRow struct {
+	Name   string
+	Result cluster.Result
+}
+
+// ExtensionMultiQueue compares the paper's baseline (single-queue NIC,
+// chip-wide DVFS) against the Sec. 7 multi-queue deployment (per-core
+// queues, per-core DVFS domains, flow-affine tasks, per-core NCAP), both
+// under ncap.aggr.
+func ExtensionMultiQueue(o Options, prof app.Profile, lvl cluster.LoadLevel) []ExtensionRow {
+	load := cluster.LoadRPS(prof.Name, lvl)
+	base := run(o, cluster.NcapAggr, prof, load, nil)
+	multi := run(o, cluster.NcapAggr, prof, load, func(c *cluster.Config) {
+		c.Queues = c.Cores
+		c.PerCoreDVFS = true
+	})
+	return []ExtensionRow{
+		{Name: "single-queue/chip-wide", Result: base},
+		{Name: "multi-queue/per-core", Result: multi},
+	}
+}
+
+// ExtensionTOE compares stock stack costs against TCP-offload-engine
+// assistance (halved per-packet cycles, thresholds raised per Sec. 7).
+func ExtensionTOE(o Options, prof app.Profile, lvl cluster.LoadLevel) []ExtensionRow {
+	load := cluster.LoadRPS(prof.Name, lvl)
+	base := run(o, cluster.NcapCons, prof, load, nil)
+	toe := run(o, cluster.NcapCons, prof, load, func(c *cluster.Config) { c.TOE = true })
+	return []ExtensionRow{
+		{Name: "stock-stack", Result: base},
+		{Name: "toe-offload", Result: toe},
+	}
+}

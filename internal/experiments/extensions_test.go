@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"testing"
+
+	"ncap/internal/app"
+	"ncap/internal/cluster"
+)
+
+func TestExtensionMultiQueueWorksAndSavesEnergy(t *testing.T) {
+	rows := ExtensionMultiQueue(tiny(), app.MemcachedProfile(), cluster.LowLoad)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	base, multi := rows[0].Result, rows[1].Result
+	// The extension must still serve the offered load (no collapse).
+	if multi.Completed < base.Completed*9/10 {
+		t.Fatalf("multi-queue served %d vs base %d", multi.Completed, base.Completed)
+	}
+	if multi.Abandoned > 0 {
+		t.Fatalf("multi-queue abandoned %d requests", multi.Abandoned)
+	}
+	// Per-core steering saves energy: only the target core boosts
+	// (Sec. 7: "this can further improve the effectiveness of NCAP").
+	if multi.EnergyJ >= base.EnergyJ {
+		t.Fatalf("per-core energy %.2f not below chip-wide %.2f", multi.EnergyJ, base.EnergyJ)
+	}
+}
+
+func TestExtensionMultiQueueRequiresPerCoreDVFS(t *testing.T) {
+	cfg := cluster.DefaultConfig(cluster.NcapAggr, app.MemcachedProfile(), 35_000)
+	cfg.Queues = 4
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("multi-queue NCAP without per-core DVFS must be rejected")
+	}
+	cfg.PerCoreDVFS = true
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("paired config rejected: %v", err)
+	}
+	// Non-NCAP policies may use multi-queue with chip-wide DVFS.
+	cfg = cluster.DefaultConfig(cluster.Perf, app.MemcachedProfile(), 35_000)
+	cfg.Queues = 4
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("multi-queue perf rejected: %v", err)
+	}
+}
+
+func TestExtensionTOE(t *testing.T) {
+	rows := ExtensionTOE(tiny(), app.MemcachedProfile(), cluster.MediumLoad)
+	base, toe := rows[0].Result, rows[1].Result
+	if toe.Completed < base.Completed*9/10 {
+		t.Fatalf("TOE served %d vs base %d", toe.Completed, base.Completed)
+	}
+	// Offloading stack cycles must not raise energy or the tail.
+	if toe.EnergyJ > base.EnergyJ*1.02 {
+		t.Fatalf("TOE energy %.2f above stock %.2f", toe.EnergyJ, base.EnergyJ)
+	}
+	if toe.Latency.P95 > base.Latency.P95*11/10 {
+		t.Fatalf("TOE p95 %v well above stock %v", toe.Latency.P95, base.Latency.P95)
+	}
+}
+
+func TestExtensionMultiQueueServesApache(t *testing.T) {
+	rows := ExtensionMultiQueue(tiny(), app.ApacheProfile(), cluster.LowLoad)
+	multi := rows[1].Result
+	if multi.Abandoned > 0 {
+		t.Fatalf("abandoned = %d", multi.Abandoned)
+	}
+	if multi.Boosts == 0 {
+		t.Fatal("per-queue NCAP never boosted")
+	}
+}

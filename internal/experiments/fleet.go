@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"ncap/internal/app"
+	"ncap/internal/cluster"
+	"ncap/internal/sim"
+)
+
+// Fleet experiments back the Sec. 7 datacenter argument: production
+// clusters are load-imbalanced, so a significant fraction of servers is
+// underutilized even when aggregate load is high — and that is exactly
+// where NCAP saves. We model a small fleet as independent server
+// simulations at skewed per-server loads and sum their energy.
+
+// FleetRow is one policy's fleet-wide outcome.
+type FleetRow struct {
+	Policy       cluster.Policy
+	TotalEnergyJ float64
+	// WorstP95 is the slowest server's tail — the fleet's user-visible
+	// latency under fan-out request patterns ("The Tail at Scale").
+	WorstP95 sim.Duration
+}
+
+// FleetShares is the per-server share of the aggregate load: one hot
+// server and three cool ones, the imbalance shape of Sec. 7.
+var FleetShares = []float64{0.55, 0.20, 0.15, 0.10}
+
+// FleetImbalance runs a 4-server fleet at the given aggregate load for
+// each policy and reports fleet energy and the worst per-server tail.
+func FleetImbalance(o Options, prof app.Profile, aggregateRPS float64, policies ...cluster.Policy) []FleetRow {
+	if len(policies) == 0 {
+		policies = []cluster.Policy{cluster.Perf, cluster.OndIdle, cluster.NcapAggr}
+	}
+	var rows []FleetRow
+	for _, pol := range policies {
+		row := FleetRow{Policy: pol}
+		for i, share := range FleetShares {
+			load := aggregateRPS * share
+			seedOffset := uint64(i) // decorrelate the servers
+			res := run(o, pol, prof, load, func(c *cluster.Config) { c.Seed += seedOffset })
+			row.TotalEnergyJ += res.EnergyJ
+			if res.Latency.P95 > row.WorstP95 {
+				row.WorstP95 = res.Latency.P95
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"testing"
+
+	"ncap/internal/app"
+	"ncap/internal/cluster"
+)
+
+func TestOpenVsClosedLoopBias(t *testing.T) {
+	rows := OpenVsClosedLoop(tiny())
+	if len(rows) != 2 || rows[0].Method != "open-loop" || rows[1].Method != "closed-loop" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	open, closed := rows[0], rows[1]
+	if open.Completed == 0 || closed.Completed == 0 {
+		t.Fatal("a methodology served nothing")
+	}
+	// The Sec. 5 argument: the closed loop self-throttles during the slow
+	// episodes an ond.idle server has, under-reporting the tail that the
+	// open loop exposes.
+	if closed.P95 >= open.P95 {
+		t.Fatalf("closed-loop p95 %v not below open-loop %v (no client-side bias?)",
+			closed.P95, open.P95)
+	}
+}
+
+func TestModerationSweepTradeoff(t *testing.T) {
+	rows := ModerationSweep(tiny(), app.MemcachedProfile())
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	light, heavy := rows[0], rows[2]
+	// Less moderation → more interrupts, lower delivery latency.
+	if light.IRQs <= heavy.IRQs {
+		t.Fatalf("light moderation IRQs %d not above heavy %d", light.IRQs, heavy.IRQs)
+	}
+	if light.P95 >= heavy.P95 {
+		t.Fatalf("light moderation p95 %v not below heavy %v", light.P95, heavy.P95)
+	}
+}
+
+func TestFleetImbalance(t *testing.T) {
+	prof := app.MemcachedProfile()
+	rows := FleetImbalance(tiny(), prof, cluster.LoadRPS(prof.Name, cluster.MediumLoad))
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byPolicy := map[cluster.Policy]FleetRow{}
+	for _, r := range rows {
+		byPolicy[r.Policy] = r
+		if r.TotalEnergyJ <= 0 || r.WorstP95 <= 0 {
+			t.Fatalf("%s fleet row empty: %+v", r.Policy, r)
+		}
+	}
+	// Sec. 7: with imbalance, the cool servers give NCAP room even at
+	// high aggregate load — fleet energy lands well below perf's.
+	perf, ncap := byPolicy[cluster.Perf], byPolicy[cluster.NcapAggr]
+	if ncap.TotalEnergyJ >= perf.TotalEnergyJ*0.9 {
+		t.Fatalf("fleet ncap %.2f not well below perf %.2f", ncap.TotalEnergyJ, perf.TotalEnergyJ)
+	}
+	// And NCAP's worst tail stays perf-class, unlike ond.idle's.
+	ond := byPolicy[cluster.OndIdle]
+	if ncap.WorstP95 > perf.WorstP95*2 {
+		t.Fatalf("fleet ncap tail %v far above perf %v", ncap.WorstP95, perf.WorstP95)
+	}
+	if ond.WorstP95 <= perf.WorstP95 {
+		t.Fatalf("ond.idle fleet tail %v should exceed perf %v", ond.WorstP95, perf.WorstP95)
+	}
+}

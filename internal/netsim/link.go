@@ -1,0 +1,81 @@
+package netsim
+
+import (
+	"ncap/internal/sim"
+
+	"ncap/internal/stats"
+)
+
+// DefaultLinkConfig matches Table 1: 10 Gb/s links with 1 µs latency.
+func DefaultLinkConfig() LinkConfig {
+	return LinkConfig{
+		BandwidthBps: 10_000_000_000,
+		Latency:      sim.Microsecond,
+		QueueBytes:   4 * 1024 * 1024,
+	}
+}
+
+// LinkConfig parameterizes a unidirectional link.
+type LinkConfig struct {
+	BandwidthBps int64        // serialization rate
+	Latency      sim.Duration // propagation delay
+	QueueBytes   int          // egress buffer; frames beyond it are dropped
+}
+
+// Link is a unidirectional point-to-point link with an egress FIFO. Frames
+// serialize back-to-back at the link rate and arrive after the propagation
+// delay. The egress buffer is drop-tail.
+type Link struct {
+	eng     *sim.Engine
+	cfg     LinkConfig
+	dst     Receiver
+	busyTil sim.Time
+	queued  int // bytes committed to the egress buffer but not yet on the wire
+
+	// Bytes counts payload+header bytes successfully transmitted; Drops
+	// counts frames lost to a full egress buffer.
+	Bytes stats.Counter
+	Drops stats.Counter
+}
+
+// NewLink connects a new link to the destination receiver.
+func NewLink(eng *sim.Engine, cfg LinkConfig, dst Receiver) *Link {
+	if cfg.BandwidthBps <= 0 {
+		panic("netsim: link bandwidth must be positive")
+	}
+	if dst == nil {
+		panic("netsim: link destination must not be nil")
+	}
+	return &Link{eng: eng, cfg: cfg, dst: dst}
+}
+
+// Send enqueues a frame for transmission. It returns false if the egress
+// buffer is full and the frame was dropped.
+func (l *Link) Send(p *Packet) bool {
+	now := l.eng.Now()
+	if l.busyTil < now {
+		l.busyTil = now
+	}
+	if l.queued+p.WireSize() > l.cfg.QueueBytes && l.queued > 0 {
+		l.Drops.Inc()
+		return false
+	}
+	txTime := l.serialization(p.WireSize())
+	l.queued += p.WireSize()
+	l.busyTil += txTime
+	arrival := l.busyTil + l.cfg.Latency
+	l.Bytes.Add(int64(p.WireSize()))
+	l.eng.At(l.busyTil, func() { l.queued -= p.WireSize() })
+	l.eng.At(arrival, func() { l.dst.Receive(p) })
+	return true
+}
+
+// Busy reports whether the link is currently serializing a frame.
+func (l *Link) Busy() bool { return l.busyTil > l.eng.Now() }
+
+// QueuedBytes returns the bytes waiting in (or entering) the egress buffer.
+func (l *Link) QueuedBytes() int { return l.queued }
+
+func (l *Link) serialization(bytes int) sim.Duration {
+	return sim.Duration(int64(bytes) * 8 * int64(sim.Second) / l.cfg.BandwidthBps)
+}

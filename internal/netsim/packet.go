@@ -1,0 +1,119 @@
+// Package netsim models the cluster network: TCP/IP-over-Ethernet framing,
+// point-to-point links with serialization and propagation delay, and a
+// store-and-forward switch. It reproduces the properties the paper's
+// mechanism depends on: the application payload beginning at byte 66 of a
+// received TCP packet (Sec. 4.1), MTU-limited response segmentation
+// (Sec. 4.1), and a 10 Gb/s, 1 µs-latency datacenter link (Table 1).
+package netsim
+
+import (
+	"fmt"
+
+	"ncap/internal/sim"
+)
+
+// Addr identifies a node's network interface.
+type Addr uint32
+
+func (a Addr) String() string { return fmt.Sprintf("node%d", uint32(a)) }
+
+// Kind classifies a packet's role for workload accounting. The NIC
+// hardware never reads Kind — it classifies by payload bytes, as in the
+// paper; Kind exists for tests and statistics.
+type Kind int
+
+const (
+	// KindRequest carries a client request (possibly latency-critical).
+	KindRequest Kind = iota
+	// KindResponse carries (a segment of) a server response.
+	KindResponse
+	// KindBulk is background traffic with no SLA (VM migration, analytics).
+	KindBulk
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindRequest:
+		return "request"
+	case KindResponse:
+		return "response"
+	case KindBulk:
+		return "bulk"
+	}
+	return fmt.Sprintf("kind?%d", int(k))
+}
+
+// Framing constants.
+const (
+	// HeaderBytes is the wire overhead before the application payload: the
+	// paper states the payload of a received TCP packet starts at byte 66
+	// (Ethernet 14 + IP 20 + TCP with options 32).
+	HeaderBytes = 66
+	// MTU is the Ethernet maximum transmission unit.
+	MTU = 1500
+	// MSS is the maximum application payload per frame: an MTU-sized IP
+	// datagram minus IP/TCP headers (52 bytes), i.e. 1448 bytes.
+	MSS = MTU - (HeaderBytes - 14)
+)
+
+// Packet is one TCP segment on the wire.
+type Packet struct {
+	Src, Dst Addr
+	Kind     Kind
+	// Payload is the application payload; on the wire it begins at byte
+	// HeaderBytes. For multi-segment responses only the first few bytes
+	// matter to the simulation, so segments share a truncated payload.
+	Payload []byte
+	// PayloadLen is the logical payload length in bytes (len(Payload) may
+	// be shorter for segments whose contents are immaterial).
+	PayloadLen int
+	// ReqID correlates a request with its response segments.
+	ReqID uint64
+	// Seg and SegCount identify this segment within a response burst.
+	Seg, SegCount int
+	// SentAt is stamped when the packet enters the sender's NIC tx path.
+	SentAt sim.Time
+}
+
+// WireSize returns the frame's size on the wire, headers included.
+func (p *Packet) WireSize() int { return HeaderBytes + p.PayloadLen }
+
+// NewRequest builds a single-segment request packet whose payload begins
+// with the given method bytes (e.g. "GET / HTTP/1.1").
+func NewRequest(src, dst Addr, reqID uint64, payload []byte) *Packet {
+	return &Packet{
+		Src: src, Dst: dst, Kind: KindRequest,
+		Payload: payload, PayloadLen: len(payload),
+		ReqID: reqID, Seg: 0, SegCount: 1,
+	}
+}
+
+// SegmentResponse splits a response body of the given size into MSS-sized
+// segments addressed from src to dst.
+func SegmentResponse(src, dst Addr, reqID uint64, bodyBytes int) []*Packet {
+	if bodyBytes <= 0 {
+		bodyBytes = 1
+	}
+	n := (bodyBytes + MSS - 1) / MSS
+	pkts := make([]*Packet, n)
+	remaining := bodyBytes
+	for i := 0; i < n; i++ {
+		seg := MSS
+		if remaining < MSS {
+			seg = remaining
+		}
+		remaining -= seg
+		pkts[i] = &Packet{
+			Src: src, Dst: dst, Kind: KindResponse,
+			PayloadLen: seg,
+			ReqID:      reqID, Seg: i, SegCount: n,
+		}
+	}
+	return pkts
+}
+
+// Receiver is anything that can accept a delivered packet (a NIC port or
+// the switch fabric).
+type Receiver interface {
+	Receive(pkt *Packet)
+}

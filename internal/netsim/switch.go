@@ -1,0 +1,54 @@
+package netsim
+
+import (
+	"fmt"
+
+	"ncap/internal/sim"
+	"ncap/internal/stats"
+)
+
+// Switch is a store-and-forward Ethernet switch. Each attached node gets
+// an egress link from the switch toward that node; ingress links are owned
+// by the nodes themselves and point at the switch.
+type Switch struct {
+	eng     *sim.Engine
+	fwDelay sim.Duration
+	ports   map[Addr]*Link
+
+	// Forwarded counts frames switched; Unroutable counts frames addressed
+	// to unknown ports (a topology bug — they are dropped and counted).
+	Forwarded  stats.Counter
+	Unroutable stats.Counter
+}
+
+// NewSwitch returns a switch with the given per-frame forwarding delay.
+func NewSwitch(eng *sim.Engine, fwDelay sim.Duration) *Switch {
+	return &Switch{eng: eng, fwDelay: fwDelay, ports: map[Addr]*Link{}}
+}
+
+// Attach registers an egress link from the switch toward addr, returning
+// it. The caller wires the node's own egress link back to the switch.
+func (s *Switch) Attach(addr Addr, cfg LinkConfig, node Receiver) *Link {
+	if _, dup := s.ports[addr]; dup {
+		panic(fmt.Sprintf("netsim: duplicate switch port for %v", addr))
+	}
+	l := NewLink(s.eng, cfg, node)
+	s.ports[addr] = l
+	return l
+}
+
+// Receive implements Receiver: frames entering the switch are forwarded to
+// the egress port for their destination after the forwarding delay.
+func (s *Switch) Receive(p *Packet) {
+	out, ok := s.ports[p.Dst]
+	if !ok {
+		s.Unroutable.Inc()
+		return
+	}
+	s.Forwarded.Inc()
+	if s.fwDelay > 0 {
+		s.eng.Schedule(s.fwDelay, func() { out.Send(p) })
+	} else {
+		out.Send(p)
+	}
+}

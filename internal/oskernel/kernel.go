@@ -1,0 +1,268 @@
+// Package oskernel models the slice of the Linux kernel the paper's
+// mechanism flows through: hardware IRQ dispatch (with level-triggered
+// coalescing), softirq scheduling, high-resolution kernel timers (whose
+// deadlines bound the menu governor's idle predictions), and run-queue
+// task placement.
+package oskernel
+
+import (
+	"fmt"
+
+	"ncap/internal/cpu"
+	"ncap/internal/sim"
+	"ncap/internal/stats"
+)
+
+// Kernel is one node's OS instance.
+type Kernel struct {
+	eng     *sim.Engine
+	chip    *cpu.Chip
+	irqCore int
+	timers  []*Timer
+
+	// HardIRQs and SoftIRQs count dispatched handler executions.
+	HardIRQs stats.Counter
+	SoftIRQs stats.Counter
+}
+
+// New builds a kernel over the chip. Hardware interrupts are routed to
+// core 0, as with the default single-queue NIC affinity in the paper.
+func New(chip *cpu.Chip) *Kernel {
+	return &Kernel{eng: chip.Engine(), chip: chip, irqCore: 0}
+}
+
+// Chip returns the processor the kernel runs on.
+func (k *Kernel) Chip() *cpu.Chip { return k.chip }
+
+// Engine returns the simulation engine.
+func (k *Kernel) Engine() *sim.Engine { return k.eng }
+
+// IRQCore returns the core hardware interrupts are routed to.
+func (k *Kernel) IRQCore() int { return k.irqCore }
+
+// IRQ is a registered hardware interrupt line. Asserting it queues the
+// handler on its affinity core; further assertions while the handler is
+// queued are coalesced, matching level-triggered ICR semantics — the
+// handler reads all accumulated causes in one go.
+type IRQ struct {
+	k       *Kernel
+	name    string
+	coreID  int
+	cycles  int64
+	handler func()
+	pending bool
+}
+
+// NewIRQ registers an interrupt line with default affinity (core 0).
+// cycles covers the handler's fixed cost (register save, ICR read over
+// PCIe, cause demux).
+func (k *Kernel) NewIRQ(name string, cycles int64, handler func()) *IRQ {
+	return k.NewIRQOn(k.irqCore, name, cycles, handler)
+}
+
+// NewIRQOn registers an interrupt line pinned to a specific core — the
+// per-queue MSI-X vectors of a multi-queue NIC.
+func (k *Kernel) NewIRQOn(coreID int, name string, cycles int64, handler func()) *IRQ {
+	if handler == nil {
+		panic("oskernel: NewIRQ with nil handler")
+	}
+	if coreID < 0 || coreID >= len(k.chip.Cores()) {
+		panic(fmt.Sprintf("oskernel: IRQ affinity core %d out of range", coreID))
+	}
+	return &IRQ{k: k, name: name, coreID: coreID, cycles: cycles, handler: handler}
+}
+
+// Core returns the IRQ's affinity core.
+func (i *IRQ) Core() int { return i.coreID }
+
+// Assert raises the interrupt line.
+func (i *IRQ) Assert() {
+	if i.pending {
+		return
+	}
+	i.pending = true
+	i.k.HardIRQs.Inc()
+	i.k.chip.Core(i.coreID).Submit(&cpu.Work{
+		Name:   i.name,
+		Cycles: i.cycles,
+		Prio:   cpu.PrioIRQ,
+		OnDone: func() {
+			i.pending = false
+			i.handler()
+		},
+	})
+}
+
+// SoftIRQ is a deferred-work vector (NET_RX-style). Raising it queues the
+// handler at softirq priority on its core; raises while queued coalesce.
+type SoftIRQ struct {
+	k      *Kernel
+	name   string
+	coreID int
+	cycles int64
+	fn     func()
+	raised bool
+}
+
+// NewSoftIRQ registers a softirq vector on the given core. cycles is the
+// dispatch overhead charged per handler run (do_softirq entry).
+func (k *Kernel) NewSoftIRQ(name string, coreID int, cycles int64, fn func()) *SoftIRQ {
+	if fn == nil {
+		panic("oskernel: NewSoftIRQ with nil fn")
+	}
+	return &SoftIRQ{k: k, name: name, coreID: coreID, cycles: cycles, fn: fn}
+}
+
+// Raise schedules the softirq.
+func (s *SoftIRQ) Raise() {
+	if s.raised {
+		return
+	}
+	s.raised = true
+	s.k.SoftIRQs.Inc()
+	s.k.chip.Core(s.coreID).Submit(&cpu.Work{
+		Name:   s.name,
+		Cycles: s.cycles,
+		Prio:   cpu.PrioSoftIRQ,
+		OnDone: func() {
+			s.raised = false
+			s.fn()
+		},
+	})
+}
+
+// Run executes fn as softirq-context work of the given cycle cost on the
+// vector's core, without coalescing — the per-packet portion of a poll.
+func (s *SoftIRQ) Run(cycles int64, fn func()) {
+	s.k.chip.Core(s.coreID).Submit(&cpu.Work{
+		Name:   s.name,
+		Cycles: cycles,
+		Prio:   cpu.PrioSoftIRQ,
+		OnDone: fn,
+	})
+}
+
+// Timer is a high-resolution kernel timer pinned to a core. Expiry runs
+// the callback as IRQ-priority work (the timer interrupt), waking the core
+// if needed. Its deadline is visible to the menu governor via TimerHint.
+type Timer struct {
+	k      *Kernel
+	name   string
+	coreID int
+	cycles int64
+	fn     func()
+	inner  *sim.Timer
+	period sim.Duration // 0 for one-shot
+}
+
+// NewTimer creates a stopped timer on the given core. cycles is the timer
+// interrupt's CPU cost.
+func (k *Kernel) NewTimer(name string, coreID int, cycles int64, fn func()) *Timer {
+	if fn == nil {
+		panic("oskernel: NewTimer with nil fn")
+	}
+	t := &Timer{k: k, name: name, coreID: coreID, cycles: cycles, fn: fn}
+	t.inner = sim.NewTimer(k.eng, t.expire)
+	k.timers = append(k.timers, t)
+	return t
+}
+
+// Arm schedules a one-shot expiry after d.
+func (t *Timer) Arm(d sim.Duration) {
+	t.period = 0
+	t.inner.Arm(d)
+}
+
+// ArmPeriodic schedules recurring expiries every period.
+func (t *Timer) ArmPeriodic(period sim.Duration) {
+	if period <= 0 {
+		panic("oskernel: ArmPeriodic needs a positive period")
+	}
+	t.period = period
+	t.inner.Arm(period)
+}
+
+// Stop cancels the timer.
+func (t *Timer) Stop() { t.period = 0; t.inner.Stop() }
+
+// Pending reports whether the timer is armed.
+func (t *Timer) Pending() bool { return t.inner.Pending() }
+
+func (t *Timer) expire() {
+	if t.period > 0 {
+		t.inner.Arm(t.period)
+	}
+	t.k.chip.Core(t.coreID).Submit(&cpu.Work{
+		Name:   t.name,
+		Cycles: t.cycles,
+		Prio:   cpu.PrioIRQ,
+		OnDone: t.fn,
+	})
+}
+
+// NextTimerDelay returns the delay until the earliest armed timer on the
+// core, or -1 when none is pending — the menu governor's next-event bound.
+func (k *Kernel) NextTimerDelay(coreID int) sim.Duration {
+	now := k.eng.Now()
+	best := sim.Duration(-1)
+	for _, t := range k.timers {
+		if t.coreID != coreID || !t.inner.Pending() {
+			continue
+		}
+		d := t.inner.Deadline() - now
+		if d < 0 {
+			d = 0
+		}
+		if best < 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// TimerHint adapts NextTimerDelay for the menu governor.
+func (k *Kernel) TimerHint() func(coreID int) sim.Duration {
+	return k.NextTimerDelay
+}
+
+// SubmitTask places application work on the least-loaded core: an idle
+// core if one exists, otherwise the shortest task queue — a simplified
+// CFS placement.
+func (k *Kernel) SubmitTask(name string, cycles int64, onDone func()) *cpu.Core {
+	cores := k.chip.Cores()
+	best := cores[0]
+	bestScore := placementScore(best)
+	for _, c := range cores[1:] {
+		if s := placementScore(c); s < bestScore {
+			best, bestScore = c, s
+		}
+	}
+	best.Submit(&cpu.Work{Name: name, Cycles: cycles, Prio: cpu.PrioTask, OnDone: onDone})
+	return best
+}
+
+// SubmitTaskOn pins application work to a specific core.
+func (k *Kernel) SubmitTaskOn(coreID int, name string, cycles int64, onDone func()) {
+	k.chip.Core(coreID).Submit(&cpu.Work{Name: name, Cycles: cycles, Prio: cpu.PrioTask, OnDone: onDone})
+}
+
+// SubmitSoftIRQOn runs work at softirq priority on a specific core —
+// deferred kernel work (NET_TX transmission) that preempts application
+// tasks but yields to hard interrupts.
+func (k *Kernel) SubmitSoftIRQOn(coreID int, name string, cycles int64, onDone func()) {
+	k.SoftIRQs.Inc()
+	k.chip.Core(coreID).Submit(&cpu.Work{Name: name, Cycles: cycles, Prio: cpu.PrioSoftIRQ, OnDone: onDone})
+}
+
+func placementScore(c *cpu.Core) int {
+	score := c.QueueLen(cpu.PrioTask) * 2
+	if c.Busy() {
+		score++
+	}
+	return score
+}
+
+// String aids debugging.
+func (k *Kernel) String() string {
+	return fmt.Sprintf("kernel(cores=%d, irq=%d)", len(k.chip.Cores()), k.irqCore)
+}

@@ -1,0 +1,92 @@
+package power
+
+import (
+	"fmt"
+
+	"ncap/internal/sim"
+)
+
+// CState is a processor sleep state. The paper (Table 1, Fig. 4) uses the
+// ACPI names C0 (active/idle), C1 (halt), C3 (sleep), and C6 (off).
+type CState int
+
+// Sleep states, shallow to deep.
+const (
+	C0 CState = iota // executing, or polling the run queue in the idle loop
+	C1               // clock gated; architectural state retained at full V
+	C3               // voltage dropped to retention level (0.6 V)
+	C6               // power gated; zero static power
+)
+
+func (c CState) String() string {
+	switch c {
+	case C0:
+		return "C0"
+	case C1:
+		return "C1"
+	case C3:
+		return "C3"
+	case C6:
+		return "C6"
+	}
+	return fmt.Sprintf("C?%d", int(c))
+}
+
+// CStateInfo carries the governor-relevant parameters of a sleep state.
+type CStateInfo struct {
+	State CState
+	// ExitLatency is the time to transition back to an executing state.
+	ExitLatency sim.Duration
+	// Residency is the minimum stay that makes entering the state worth
+	// its transition energy (the menu governor's target residency).
+	Residency sim.Duration
+}
+
+// DefaultCStates returns the paper's three sleep states (Sec. 5): exit
+// latencies 2/10/22 µs and residencies 10/40/150 µs. C0 is implicit.
+func DefaultCStates() []CStateInfo {
+	return []CStateInfo{
+		{State: C1, ExitLatency: 2 * sim.Microsecond, Residency: 10 * sim.Microsecond},
+		{State: C3, ExitLatency: 10 * sim.Microsecond, Residency: 40 * sim.Microsecond},
+		{State: C6, ExitLatency: 22 * sim.Microsecond, Residency: 150 * sim.Microsecond},
+	}
+}
+
+// Voltage/frequency transition timing (Sec. 2.1, Fig. 1).
+const (
+	// PLLRelock is the halt while the PLL relocks after a frequency change.
+	PLLRelock = 5 * sim.Microsecond
+	// VoltageRampMVPerUs is the regulator slew rate when raising voltage.
+	VoltageRampMVPerUs = 6.25
+	// MwaitWakeOverhead models the MONITOR/MWAIT kernel path cost paid on
+	// every C-state wakeup in addition to the hardware exit latency
+	// (Sec. 2.1 reports 6–60 µs on i7-3770; we charge the low end, since
+	// the paper's exit latencies already fold in most of the cost).
+	MwaitWakeOverhead = 2 * sim.Microsecond
+)
+
+// RampTime returns how long the voltage regulator needs to move between two
+// levels at the default slew rate.
+func RampTime(fromMV, toMV int) sim.Duration {
+	d := toMV - fromMV
+	if d < 0 {
+		d = -d
+	}
+	return sim.Duration(float64(d) / VoltageRampMVPerUs * float64(sim.Microsecond))
+}
+
+// UpTransitionDelay returns the delay before a raised P-state takes effect:
+// the voltage must ramp up before the frequency can be raised, then the
+// core halts for the PLL relock (Fig. 1). The core keeps executing at the
+// old frequency during the ramp; only the relock halts it.
+func UpTransitionDelay(from, to PState) (ramp, halt sim.Duration) {
+	if to.MilliVolts <= from.MilliVolts {
+		return 0, PLLRelock
+	}
+	return RampTime(from.MilliVolts, to.MilliVolts), PLLRelock
+}
+
+// DownTransitionDelay returns the halt for a lowered P-state: frequency
+// drops first (PLL relock halt), then voltage ramps down without stalling
+// the core.
+func DownTransitionDelay() (halt sim.Duration) { return PLLRelock }

@@ -1,0 +1,113 @@
+package power
+
+import "fmt"
+
+// Model is the analytic per-core power model standing in for McPAT. It
+// follows the paper's stated accounting rules (Sec. 5):
+//
+//   - busy cores draw dynamic power ∝ V²·f plus leakage ∝ V;
+//   - C0 idle (the kernel's NOP polling loop) draws a fraction of busy
+//     dynamic power plus leakage;
+//   - C1 draws no dynamic power and leakage at the voltage in effect when
+//     the core entered the state;
+//   - C3 draws the fixed retention leakage at 0.6 V;
+//   - C6 draws nothing.
+//
+// The default coefficients are calibrated so a 4-core package matches
+// Table 1: ~80 W with all cores busy at P0 and ~12 W at the deepest state,
+// with C1 leakage spanning the stated 1.92–7.11 W per core.
+type Model struct {
+	// DynWattsPerV2GHz is the dynamic-power coefficient k in P = k·V²·f.
+	DynWattsPerV2GHz float64
+	// LeakLowW and LeakHighW anchor the linear leakage model at the
+	// minimum and maximum table voltages.
+	LeakLowW, LeakHighW float64
+	loMV, hiMV          int
+	// C3RetentionW is the fixed per-core static power in C3 (0.6 V).
+	C3RetentionW float64
+	// C0PollFraction is the fraction of busy dynamic power burned by the
+	// idle loop's polling in C0.
+	C0PollFraction float64
+	// UncoreW is constant package power (interconnect, caches) charged
+	// once per chip, not per core.
+	UncoreW float64
+}
+
+// DefaultModel returns the Table 1-calibrated model.
+func DefaultModel() *Model {
+	m := &Model{
+		LeakLowW:       1.92, // per-core static at 0.65 V (Table 1, C1 low end)
+		LeakHighW:      7.11, // per-core static at 1.20 V (Table 1, C1 high end)
+		loMV:           minMilliVolts,
+		hiMV:           maxMilliVolts,
+		C3RetentionW:   1.64, // Table 1: core static power at C3
+		C0PollFraction: 0.50,
+		UncoreW:        0,
+	}
+	// Solve k so that 4 busy cores at P0 draw the Table 1 maximum of 80 W:
+	// 4·(k·V0²·f0 + leak(V0)) = 80.
+	p0v := float64(maxMilliVolts) / 1000
+	p0f := float64(maxMHz) / 1000
+	m.DynWattsPerV2GHz = (80.0/4 - m.LeakHighW) / (p0v * p0v * p0f)
+	return m
+}
+
+// Leakage returns per-core static power at the given voltage (mV), linear
+// between the calibration anchors.
+func (m *Model) Leakage(mv int) float64 {
+	frac := float64(mv-m.loMV) / float64(m.hiMV-m.loMV)
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return m.LeakLowW + frac*(m.LeakHighW-m.LeakLowW)
+}
+
+// Dynamic returns per-core dynamic power when executing at state p.
+func (m *Model) Dynamic(p PState) float64 {
+	v := p.Volts()
+	return m.DynWattsPerV2GHz * v * v * p.GHz()
+}
+
+// CorePower returns the power draw of one core.
+//
+// p is the chip's current P-state. c is the core's sleep state; busy is
+// meaningful only in C0 and distinguishes executing from idle-polling.
+// entryMV is the voltage at which the core entered C1 (C1 retains state at
+// the entry voltage even if the chip later changes P-state); pass the
+// current voltage when not in C1.
+func (m *Model) CorePower(p PState, c CState, busy bool, entryMV int) float64 {
+	switch c {
+	case C0:
+		if busy {
+			return m.Dynamic(p) + m.Leakage(p.MilliVolts)
+		}
+		return m.C0PollFraction*m.Dynamic(p) + m.Leakage(p.MilliVolts)
+	case C1:
+		return m.Leakage(entryMV)
+	case C3:
+		return m.C3RetentionW
+	case C6:
+		return 0
+	}
+	panic(fmt.Sprintf("power: unknown C-state %d", int(c)))
+}
+
+// PackagePower returns total chip power for a set of identical-state cores
+// plus the uncore constant. Each element of cores describes one core.
+type CoreDraw struct {
+	C       CState
+	Busy    bool
+	EntryMV int
+}
+
+// Package returns the summed power of all cores at chip P-state p.
+func (m *Model) Package(p PState, cores []CoreDraw) float64 {
+	total := m.UncoreW
+	for _, c := range cores {
+		total += m.CorePower(p, c.C, c.Busy, c.EntryMV)
+	}
+	return total
+}

@@ -1,0 +1,287 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ncap/internal/sim"
+)
+
+func TestDefaultTableMatchesTable1(t *testing.T) {
+	tab := DefaultTable()
+	if tab.Len() != 15 {
+		t.Fatalf("states = %d, want 15 (Table 1)", tab.Len())
+	}
+	p0 := tab.Max()
+	if p0.MilliVolts != 1200 || p0.MHz != 3100 || p0.Index != 0 {
+		t.Fatalf("P0 = %+v, want 1.2V/3.1GHz", p0)
+	}
+	pmin := tab.Min()
+	if pmin.MilliVolts != 650 || pmin.MHz != 800 || pmin.Index != 14 {
+		t.Fatalf("Pmin = %+v, want 0.65V/0.8GHz", pmin)
+	}
+}
+
+func TestTableMonotone(t *testing.T) {
+	tab := DefaultTable()
+	for i := 1; i < tab.Len(); i++ {
+		prev, cur := tab.ByIndex(i-1), tab.ByIndex(i)
+		if cur.MHz >= prev.MHz || cur.MilliVolts >= prev.MilliVolts {
+			t.Fatalf("table not strictly decreasing at %d: %v -> %v", i, prev, cur)
+		}
+	}
+}
+
+func TestForUtilization(t *testing.T) {
+	tab := DefaultTable()
+	if got := tab.ForUtilization(1.0); got != tab.Max() {
+		t.Fatalf("util 1.0 -> %v, want P0", got)
+	}
+	if got := tab.ForUtilization(2.0); got != tab.Max() {
+		t.Fatalf("util 2.0 -> %v, want P0", got)
+	}
+	if got := tab.ForUtilization(0); got != tab.Min() {
+		t.Fatalf("util 0 -> %v, want deepest", got)
+	}
+	// The chosen state must satisfy the demand and the next-deeper one
+	// must not (when one exists).
+	for _, u := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		p := tab.ForUtilization(u)
+		need := u * float64(tab.Max().MHz)
+		if float64(p.MHz) < need {
+			t.Fatalf("util %v -> %v below demand %.0f MHz", u, p, need)
+		}
+		if p.Index+1 < tab.Len() {
+			deeper := tab.ByIndex(p.Index + 1)
+			if float64(deeper.MHz) >= need {
+				t.Fatalf("util %v -> %v but deeper %v also satisfies", u, p, deeper)
+			}
+		}
+	}
+}
+
+func TestStepTowardMin(t *testing.T) {
+	tab := DefaultTable()
+	p := tab.Max()
+	p = tab.StepTowardMin(p, 5)
+	if p.Index != 5 {
+		t.Fatalf("index = %d, want 5", p.Index)
+	}
+	p = tab.StepTowardMin(p, 100)
+	if p != tab.Min() {
+		t.Fatalf("overshoot must clamp to deepest, got %v", p)
+	}
+}
+
+func TestByIndexPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DefaultTable().ByIndex(15)
+}
+
+func TestDefaultCStates(t *testing.T) {
+	cs := DefaultCStates()
+	if len(cs) != 3 {
+		t.Fatalf("C-states = %d, want 3", len(cs))
+	}
+	want := []struct {
+		s    CState
+		exit sim.Duration
+		res  sim.Duration
+	}{
+		{C1, 2 * sim.Microsecond, 10 * sim.Microsecond},
+		{C3, 10 * sim.Microsecond, 40 * sim.Microsecond},
+		{C6, 22 * sim.Microsecond, 150 * sim.Microsecond},
+	}
+	for i, w := range want {
+		if cs[i].State != w.s || cs[i].ExitLatency != w.exit || cs[i].Residency != w.res {
+			t.Errorf("C-state %d = %+v, want %+v", i, cs[i], w)
+		}
+	}
+	// Deeper states must have longer exit latencies and residencies.
+	for i := 1; i < len(cs); i++ {
+		if cs[i].ExitLatency <= cs[i-1].ExitLatency || cs[i].Residency <= cs[i-1].Residency {
+			t.Fatalf("C-state ordering broken at %d", i)
+		}
+	}
+}
+
+func TestRampTime(t *testing.T) {
+	// 0.65V -> 1.2V at 6.25 mV/µs = 88 µs.
+	got := RampTime(650, 1200)
+	want := sim.Duration(88 * sim.Microsecond)
+	if got != want {
+		t.Fatalf("RampTime = %v, want %v", got, want)
+	}
+	if RampTime(1200, 650) != want {
+		t.Fatal("RampTime must be symmetric")
+	}
+	if RampTime(1000, 1000) != 0 {
+		t.Fatal("zero delta must be zero time")
+	}
+}
+
+func TestTransitionDelays(t *testing.T) {
+	tab := DefaultTable()
+	ramp, halt := UpTransitionDelay(tab.Min(), tab.Max())
+	if halt != PLLRelock {
+		t.Fatalf("halt = %v, want %v", halt, PLLRelock)
+	}
+	if ramp != 88*sim.Microsecond {
+		t.Fatalf("ramp = %v, want 88µs", ramp)
+	}
+	// Same-or-lower voltage "up" transition needs no ramp.
+	ramp, _ = UpTransitionDelay(tab.Max(), tab.Max())
+	if ramp != 0 {
+		t.Fatalf("no-op ramp = %v, want 0", ramp)
+	}
+	if DownTransitionDelay() != PLLRelock {
+		t.Fatal("down transition must halt for the PLL relock")
+	}
+}
+
+func TestModelPackageEndpoints(t *testing.T) {
+	m := DefaultModel()
+	tab := DefaultTable()
+	busy4 := []CoreDraw{{C: C0, Busy: true}, {C: C0, Busy: true}, {C: C0, Busy: true}, {C: C0, Busy: true}}
+	hi := m.Package(tab.Max(), busy4)
+	if math.Abs(hi-80) > 0.5 {
+		t.Fatalf("package at P0 all-busy = %.2f W, want ~80 (Table 1)", hi)
+	}
+	lo := m.Package(tab.Min(), busy4)
+	if lo < 10 || lo > 14 {
+		t.Fatalf("package at deepest all-busy = %.2f W, want ~12 (Table 1)", lo)
+	}
+}
+
+func TestModelCStatePowerRules(t *testing.T) {
+	m := DefaultModel()
+	tab := DefaultTable()
+	p0 := tab.Max()
+
+	// C1 at max V: Table 1's 7.11 W; C1 at min V: 1.92 W.
+	if got := m.CorePower(p0, C1, false, 1200); math.Abs(got-7.11) > 0.01 {
+		t.Fatalf("C1@1.2V = %v, want 7.11", got)
+	}
+	if got := m.CorePower(p0, C1, false, 650); math.Abs(got-1.92) > 0.01 {
+		t.Fatalf("C1@0.65V = %v, want 1.92", got)
+	}
+	// C3 fixed retention power.
+	if got := m.CorePower(p0, C3, false, 1200); got != 1.64 {
+		t.Fatalf("C3 = %v, want 1.64", got)
+	}
+	// C6 draws nothing.
+	if got := m.CorePower(p0, C6, false, 1200); got != 0 {
+		t.Fatalf("C6 = %v, want 0", got)
+	}
+	// Busy C0 must dominate idle C0, which must dominate C1 at equal V.
+	busy := m.CorePower(p0, C0, true, p0.MilliVolts)
+	idle := m.CorePower(p0, C0, false, p0.MilliVolts)
+	c1 := m.CorePower(p0, C1, false, p0.MilliVolts)
+	if !(busy > idle && idle > c1) {
+		t.Fatalf("power ordering broken: busy=%v idle=%v c1=%v", busy, idle, c1)
+	}
+}
+
+// Property: deeper P-states never increase busy power; deeper C-states
+// never increase idle power (at fixed entry voltage).
+func TestModelMonotonicityProperty(t *testing.T) {
+	m := DefaultModel()
+	tab := DefaultTable()
+	f := func(rawP uint8, deeper uint8) bool {
+		i := int(rawP) % tab.Len()
+		j := i + int(deeper)%(tab.Len()-i)
+		pi, pj := tab.ByIndex(i), tab.ByIndex(j)
+		if m.CorePower(pj, C0, true, pj.MilliVolts) > m.CorePower(pi, C0, true, pi.MilliVolts)+1e-9 {
+			return false
+		}
+		order := []CState{C0, C1, C3, C6}
+		prev := math.Inf(1)
+		for _, c := range order {
+			p := m.CorePower(pi, c, false, pi.MilliVolts)
+			if p > prev+1e-9 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnergyMeterIntegration(t *testing.T) {
+	e := NewEnergyMeter(0)
+	e.SetPower(0, 10)            // 10 W from 0
+	e.SetPower(2*sim.Second, 20) // 20 J accrued; now 20 W
+	e.SetPower(3*sim.Second, 0)  // +20 J
+	if got := e.Joules(5 * sim.Second); math.Abs(got-40) > 1e-9 {
+		t.Fatalf("joules = %v, want 40", got)
+	}
+}
+
+func TestEnergyMeterReset(t *testing.T) {
+	e := NewEnergyMeter(0)
+	e.SetPower(0, 100)
+	e.Reset(sim.Second)
+	if got := e.Joules(sim.Second); got != 0 {
+		t.Fatalf("joules after reset = %v", got)
+	}
+	// Power level survives the reset.
+	if got := e.Joules(2 * sim.Second); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("joules = %v, want 100", got)
+	}
+	if e.Watts() != 100 {
+		t.Fatalf("watts = %v", e.Watts())
+	}
+}
+
+func TestEnergyMeterPanicsOnTimeTravel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e := NewEnergyMeter(sim.Second)
+	e.SetPower(0, 1)
+}
+
+// Property: energy is additive over any split of an interval.
+func TestEnergyMeterAdditivityProperty(t *testing.T) {
+	f := func(levels []uint8) bool {
+		e := NewEnergyMeter(0)
+		now := sim.Time(0)
+		var manual float64
+		watts := 0.0
+		for _, l := range levels {
+			step := sim.Duration(l%100+1) * sim.Millisecond
+			manual += watts * step.Seconds()
+			now += step
+			watts = float64(l % 50)
+			e.SetPower(now, watts)
+		}
+		manual += watts * sim.Second.Seconds()
+		now += sim.Second
+		return math.Abs(e.Joules(now)-manual) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	if got := DefaultTable().Max().String(); got != "P0(1.20V/3.1GHz)" {
+		t.Fatalf("PState.String = %q", got)
+	}
+	if C3.String() != "C3" || C0.String() != "C0" || C1.String() != "C1" || C6.String() != "C6" {
+		t.Fatal("CState.String wrong")
+	}
+	if CState(9).String() != "C?9" {
+		t.Fatal("unknown CState format")
+	}
+}

@@ -1,0 +1,122 @@
+// Package power models the processor's performance (P) and sleep (C)
+// states, the analytic power law used in place of McPAT, and the timing of
+// voltage/frequency transitions (Fig. 1 of the paper).
+//
+// Parameters come from Table 1 of the paper: 15 P-states spanning
+// 0.65 V / 0.8 GHz to 1.2 V / 3.1 GHz with 12–80 W package power; C1/C3/C6
+// sleep states with 2/10/22 µs exit latency and 10/40/150 µs residency;
+// voltage ramps at 6.25 mV/µs and the PLL relock halt is 5 µs.
+package power
+
+import "fmt"
+
+// PState is one performance state. Index 0 is P0, the highest-performance
+// state; larger indices are deeper (slower, lower-voltage) states.
+type PState struct {
+	Index      int
+	MilliVolts int
+	MHz        int
+}
+
+func (p PState) String() string {
+	return fmt.Sprintf("P%d(%.2fV/%.1fGHz)", p.Index, float64(p.MilliVolts)/1000, float64(p.MHz)/1000)
+}
+
+// GHz returns the state's frequency in GHz.
+func (p PState) GHz() float64 { return float64(p.MHz) / 1000 }
+
+// Volts returns the state's voltage in volts.
+func (p PState) Volts() float64 { return float64(p.MilliVolts) / 1000 }
+
+// Table is an ordered set of P-states, from P0 down to the deepest state.
+type Table struct {
+	states []PState
+}
+
+// Table 1 endpoints.
+const (
+	defaultStates = 15
+	maxMilliVolts = 1200
+	minMilliVolts = 650
+	maxMHz        = 3100
+	minMHz        = 800
+)
+
+// DefaultTable builds the paper's 15-entry P-state table by linear
+// interpolation between the Table 1 endpoints.
+func DefaultTable() *Table {
+	return NewTable(defaultStates, minMilliVolts, maxMilliVolts, minMHz, maxMHz)
+}
+
+// NewTable builds an n-state table interpolating voltage and frequency
+// linearly between the given endpoints. n must be at least 2.
+func NewTable(n, loMV, hiMV, loMHz, hiMHz int) *Table {
+	if n < 2 {
+		panic("power: NewTable needs at least 2 states")
+	}
+	if loMV >= hiMV || loMHz >= hiMHz {
+		panic("power: NewTable endpoints out of order")
+	}
+	t := &Table{states: make([]PState, n)}
+	for i := 0; i < n; i++ {
+		// i=0 is P0 (high end); i=n-1 is the deepest state (low end).
+		frac := float64(i) / float64(n-1)
+		t.states[i] = PState{
+			Index:      i,
+			MilliVolts: hiMV - int(frac*float64(hiMV-loMV)+0.5),
+			MHz:        hiMHz - int(frac*float64(hiMHz-loMHz)+0.5),
+		}
+	}
+	return t
+}
+
+// Len returns the number of states.
+func (t *Table) Len() int { return len(t.states) }
+
+// ByIndex returns the state with the given index (0 = P0).
+func (t *Table) ByIndex(i int) PState {
+	if i < 0 || i >= len(t.states) {
+		panic(fmt.Sprintf("power: P-state index %d out of range [0,%d)", i, len(t.states)))
+	}
+	return t.states[i]
+}
+
+// Max returns P0, the highest-performance state.
+func (t *Table) Max() PState { return t.states[0] }
+
+// Min returns the deepest (lowest-performance) state.
+func (t *Table) Min() PState { return t.states[len(t.states)-1] }
+
+// ForUtilization returns the shallowest state whose frequency is at least
+// util (in [0,1]) times the maximum frequency — the ondemand governor's
+// proportional scale-down rule.
+func (t *Table) ForUtilization(util float64) PState {
+	if util >= 1 {
+		return t.Max()
+	}
+	if util < 0 {
+		util = 0
+	}
+	target := util * float64(t.Max().MHz)
+	// Walk from the deepest state up to find the first fast-enough state.
+	for i := len(t.states) - 1; i >= 0; i-- {
+		if float64(t.states[i].MHz) >= target {
+			return t.states[i]
+		}
+	}
+	return t.Max()
+}
+
+// StepTowardMin returns the state `steps` entries deeper than cur, clamped
+// to the table — the FCONS conservative frequency-reduction rule divides
+// the remaining distance to the deepest state into FCONS steps.
+func (t *Table) StepTowardMin(cur PState, steps int) PState {
+	i := cur.Index + steps
+	if i >= len(t.states) {
+		i = len(t.states) - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return t.states[i]
+}

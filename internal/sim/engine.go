@@ -1,0 +1,210 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All simulated components schedule callbacks on a shared Engine. Time is
+// measured in integer nanoseconds (Time). Events scheduled for the same
+// instant fire in scheduling order, which — together with seeded random
+// streams (see rng.go) — makes every simulation bit-reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulated instant, in nanoseconds since the start of the run.
+type Time int64
+
+// Duration is a span of simulated time, in nanoseconds.
+type Duration = Time
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// String formats t with a unit fitting its magnitude: "850ns", "12.3µs",
+// "3.456ms", or "1.234567s".
+func (t Time) String() string {
+	abs := t
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case abs < Millisecond:
+		return fmt.Sprintf("%.1fµs", t.Micros())
+	case abs < Second:
+		return fmt.Sprintf("%.3fms", t.Millis())
+	}
+	return fmt.Sprintf("%d.%06ds", int64(t)/int64(Second), (int64(abs)%int64(Second))/1000)
+}
+
+// Seconds returns t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros returns t as a floating-point number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis returns t as a floating-point number of milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Event is a scheduled callback. It is returned by the scheduling methods
+// so callers can cancel it before it fires.
+type Event struct {
+	when     Time
+	seq      uint64 // tie-breaker: preserves scheduling order at equal times
+	index    int    // heap index, -1 once popped
+	canceled bool
+	fn       func()
+}
+
+// When returns the simulated time the event will fire (or fired).
+func (e *Event) When() Time { return e.when }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op. Cancel reports whether the event was
+// still pending.
+func (e *Event) Cancel() bool {
+	if e == nil || e.canceled || e.index == -1 {
+		return false
+	}
+	e.canceled = true
+	return true
+}
+
+// Pending reports whether the event is scheduled and not canceled.
+func (e *Event) Pending() bool { return e != nil && !e.canceled && e.index != -1 }
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	fired   uint64
+	running bool
+	stopped bool
+}
+
+// NewEngine returns an empty engine at time 0.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far (a progress metric).
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still queued, including canceled
+// events that have not yet been discarded.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule runs fn after delay. A negative delay is treated as zero (fires
+// at the current time, after already-queued events for that time).
+func (e *Engine) Schedule(delay Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at the absolute time t. If t is in the past it fires at the
+// current time.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if fn == nil {
+		panic("sim: At called with nil fn")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	ev := &Event{when: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Run executes events until the queue drains or the clock would pass until.
+// It returns the number of events fired during this call. Events scheduled
+// exactly at until are executed.
+func (e *Engine) Run(until Time) uint64 {
+	if e.running {
+		panic("sim: Run called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	var fired uint64
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.when > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		if next.canceled {
+			continue
+		}
+		e.now = next.when
+		next.fn()
+		fired++
+		e.fired++
+	}
+	if e.now < until && !e.stopped {
+		e.now = until
+	}
+	e.stopped = false
+	return fired
+}
+
+// Step executes the single next pending event, if any, and reports whether
+// one was executed. Canceled events are discarded without counting.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		next := heap.Pop(&e.queue).(*Event)
+		if next.canceled {
+			continue
+		}
+		e.now = next.when
+		next.fn()
+		e.fired++
+		return true
+	}
+	return false
+}
+
+// Stop makes the current Run return after the in-flight event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// eventHeap orders events by (when, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,105 @@
+package sim
+
+// Timer is a restartable one-shot timer bound to an engine, analogous to a
+// hardware countdown timer or a kernel hrtimer. The zero value is not
+// usable; create timers with NewTimer.
+type Timer struct {
+	eng *Engine
+	ev  *Event
+	fn  func()
+}
+
+// NewTimer returns a stopped timer that will run fn when it expires.
+func NewTimer(eng *Engine, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: NewTimer called with nil fn")
+	}
+	return &Timer{eng: eng, fn: fn}
+}
+
+// Arm (re)starts the timer to expire after d, canceling any pending expiry.
+func (t *Timer) Arm(d Duration) {
+	t.ev.Cancel()
+	t.ev = t.eng.Schedule(d, t.expire)
+}
+
+// ArmAt (re)starts the timer to expire at absolute time when.
+func (t *Timer) ArmAt(when Time) {
+	t.ev.Cancel()
+	t.ev = t.eng.At(when, t.expire)
+}
+
+// ArmIfStopped starts the timer only if it is not already pending.
+func (t *Timer) ArmIfStopped(d Duration) {
+	if !t.Pending() {
+		t.Arm(d)
+	}
+}
+
+// Stop cancels a pending expiry. It reports whether the timer was pending.
+func (t *Timer) Stop() bool { return t.ev.Cancel() }
+
+// Pending reports whether the timer is armed and has not fired.
+func (t *Timer) Pending() bool { return t.ev.Pending() }
+
+// Deadline returns the expiry time of a pending timer, or -1 if stopped.
+func (t *Timer) Deadline() Time {
+	if !t.Pending() {
+		return -1
+	}
+	return t.ev.When()
+}
+
+func (t *Timer) expire() {
+	t.ev = nil
+	t.fn()
+}
+
+// Ticker invokes a callback at a fixed period, like a periodic kernel
+// timer. Unlike Timer it rearms itself automatically.
+type Ticker struct {
+	eng    *Engine
+	period Duration
+	ev     *Event
+	fn     func()
+}
+
+// NewTicker returns a stopped ticker with the given period.
+func NewTicker(eng *Engine, period Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: NewTicker period must be positive")
+	}
+	if fn == nil {
+		panic("sim: NewTicker called with nil fn")
+	}
+	return &Ticker{eng: eng, period: period, fn: fn}
+}
+
+// Start begins ticking; the first tick fires one period from now. Starting
+// a running ticker restarts its phase.
+func (t *Ticker) Start() {
+	t.ev.Cancel()
+	t.ev = t.eng.Schedule(t.period, t.tick)
+}
+
+// Stop halts the ticker.
+func (t *Ticker) Stop() { t.ev.Cancel() }
+
+// Running reports whether the ticker is active.
+func (t *Ticker) Running() bool { return t.ev.Pending() }
+
+// Period returns the tick period.
+func (t *Ticker) Period() Duration { return t.period }
+
+// SetPeriod changes the period; it takes effect at the next rearm.
+func (t *Ticker) SetPeriod(p Duration) {
+	if p <= 0 {
+		panic("sim: SetPeriod must be positive")
+	}
+	t.period = p
+}
+
+func (t *Ticker) tick() {
+	t.ev = t.eng.Schedule(t.period, t.tick)
+	t.fn()
+}

@@ -1,0 +1,310 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ncap/internal/sim"
+)
+
+func TestLatencyPercentileNearestRank(t *testing.T) {
+	l := NewLatencyRecorder()
+	for i := 1; i <= 100; i++ {
+		l.Record(sim.Duration(i))
+	}
+	cases := []struct {
+		p    float64
+		want sim.Duration
+	}{
+		{50, 50}, {90, 90}, {95, 95}, {99, 99}, {100, 100}, {1, 1},
+	}
+	for _, c := range cases {
+		if got := l.Percentile(c.p); got != c.want {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestLatencySmallSamples(t *testing.T) {
+	l := NewLatencyRecorder()
+	if l.Percentile(95) != 0 || l.Mean() != 0 || l.Max() != 0 {
+		t.Fatal("empty recorder must report zeros")
+	}
+	l.Record(7)
+	if l.Percentile(50) != 7 || l.Percentile(99) != 7 || l.Min() != 7 {
+		t.Fatal("single sample must be every percentile")
+	}
+}
+
+func TestLatencyMeanAndInterleavedQueries(t *testing.T) {
+	l := NewLatencyRecorder()
+	l.Record(10)
+	l.Record(20)
+	if got := l.Percentile(50); got != 10 {
+		t.Fatalf("P50 = %v", got)
+	}
+	l.Record(30) // appending after a sort must still produce correct results
+	if got := l.Percentile(100); got != 30 {
+		t.Fatalf("P100 after append = %v", got)
+	}
+	if got := l.Mean(); got != 20 {
+		t.Fatalf("Mean = %v, want 20", got)
+	}
+}
+
+func TestLatencySummaryAndReset(t *testing.T) {
+	l := NewLatencyRecorder()
+	for i := 1; i <= 1000; i++ {
+		l.Record(sim.Duration(i) * sim.Microsecond)
+	}
+	s := l.Summarize()
+	if s.Count != 1000 || s.P50 != 500*sim.Microsecond || s.P99 != 990*sim.Microsecond {
+		t.Fatalf("summary = %+v", s)
+	}
+	l.Reset()
+	if l.Count() != 0 || l.Mean() != 0 {
+		t.Fatal("reset did not clear recorder")
+	}
+}
+
+// Property: percentile is monotone in p and always equals some sample.
+func TestLatencyPercentileProperties(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		l := NewLatencyRecorder()
+		set := map[sim.Duration]bool{}
+		for _, v := range raw {
+			d := sim.Duration(v)
+			l.Record(d)
+			set[d] = true
+		}
+		prev := sim.Duration(0)
+		for _, p := range []float64{1, 10, 25, 50, 75, 90, 95, 99, 100} {
+			v := l.Percentile(p)
+			if v < prev || !set[v] {
+				return false
+			}
+			prev = v
+		}
+		return l.Percentile(100) == l.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateMeterAccrual(t *testing.T) {
+	m := NewStateMeter(0, 1)
+	m.Transition(10, 2)
+	m.Transition(30, 1)
+	m.Transition(60, 2)
+	if got := m.Time(60, 1); got != 40 {
+		t.Fatalf("state 1 time = %v, want 40", got)
+	}
+	if got := m.Time(60, 2); got != 20 {
+		t.Fatalf("state 2 time = %v, want 20", got)
+	}
+	// Open interval charges to current state.
+	if got := m.Time(100, 2); got != 60 {
+		t.Fatalf("state 2 open time = %v, want 60", got)
+	}
+	if m.Entries(2) != 2 {
+		t.Fatalf("entries(2) = %d, want 2", m.Entries(2))
+	}
+	if m.State() != 2 {
+		t.Fatalf("state = %d, want 2", m.State())
+	}
+}
+
+func TestStateMeterSelfTransitionNotCounted(t *testing.T) {
+	m := NewStateMeter(0, 5)
+	m.Transition(10, 5)
+	if m.Entries(5) != 1 {
+		t.Fatalf("self transition counted as entry: %d", m.Entries(5))
+	}
+}
+
+func TestStateMeterReset(t *testing.T) {
+	m := NewStateMeter(0, 1)
+	m.Transition(100, 2)
+	m.Reset(100)
+	if m.Time(100, 1) != 0 || m.Time(100, 2) != 0 {
+		t.Fatal("reset did not zero accruals")
+	}
+	m.Transition(150, 3)
+	if got := m.Time(150, 2); got != 50 {
+		t.Fatalf("post-reset accrual = %v, want 50", got)
+	}
+}
+
+func TestStateMeterPanicsOnTimeTravel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on backwards time")
+		}
+	}()
+	m := NewStateMeter(100, 0)
+	m.Transition(50, 1)
+}
+
+// Property: total accrued time across all states equals elapsed time.
+func TestStateMeterConservation(t *testing.T) {
+	f := func(steps []uint8) bool {
+		m := NewStateMeter(0, 0)
+		now := sim.Time(0)
+		states := map[int]bool{0: true}
+		for _, s := range steps {
+			now += sim.Time(s % 50)
+			st := int(s % 5)
+			states[st] = true
+			m.Transition(now, st)
+		}
+		var total sim.Duration
+		for st := range states {
+			total += m.Time(now, st)
+		}
+		return total == sim.Duration(now)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRateWindowBasic(t *testing.T) {
+	w := NewRateWindow(0, sim.Millisecond)
+	for i := 0; i < 10; i++ {
+		w.Add(sim.Time(i)*100*sim.Microsecond, 5) // 50 events in window 0
+	}
+	// At t=1ms the first window closes with 50 events -> 50k/s.
+	if got := w.PerSecond(sim.Millisecond); got != 50000 {
+		t.Fatalf("rate = %v, want 50000", got)
+	}
+}
+
+func TestRateWindowGapZeroes(t *testing.T) {
+	w := NewRateWindow(0, sim.Millisecond)
+	w.Add(100*sim.Microsecond, 10)
+	// Query long after the burst: rate must decay to zero, not report stale.
+	if got := w.PerSecond(10 * sim.Millisecond); got != 0 {
+		t.Fatalf("stale rate = %v, want 0", got)
+	}
+	// And adding later works in the correct window.
+	w.Add(10500*sim.Microsecond, 3)
+	if got := w.PerSecond(11 * sim.Millisecond); got != 3000 {
+		t.Fatalf("rate after gap = %v, want 3000", got)
+	}
+}
+
+func TestRateWindowBoundary(t *testing.T) {
+	w := NewRateWindow(0, sim.Millisecond)
+	w.Add(999999, 1) // inside window 0
+	w.Add(sim.Millisecond, 1)
+	if got := w.PerSecond(sim.Millisecond); got != 1000 {
+		t.Fatalf("rate at boundary = %v, want 1000 (first window had 1 event)", got)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("value = %d", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestTimeSeriesNormalized(t *testing.T) {
+	s := &TimeSeries{Name: "bw"}
+	s.Add(0, 2)
+	s.Add(sim.Millisecond, 8)
+	s.Add(2*sim.Millisecond, 4)
+	n := s.Normalized()
+	want := []float64{0.25, 1, 0.5}
+	for i, p := range n.Points {
+		if p.V != want[i] {
+			t.Errorf("point %d = %v, want %v", i, p.V, want[i])
+		}
+	}
+	// Original untouched.
+	if s.Points[1].V != 8 {
+		t.Fatal("Normalized mutated the source series")
+	}
+	empty := &TimeSeries{Name: "zero"}
+	empty.Add(0, 0)
+	if empty.Normalized().Points[0].V != 0 {
+		t.Fatal("all-zero series must survive normalization")
+	}
+}
+
+func TestTimeSeriesSlice(t *testing.T) {
+	s := &TimeSeries{Name: "f"}
+	for i := 0; i < 10; i++ {
+		s.Add(sim.Time(i)*sim.Millisecond, float64(i))
+	}
+	got := s.Slice(3*sim.Millisecond, 6*sim.Millisecond)
+	if len(got) != 3 || got[0].V != 3 || got[2].V != 5 {
+		t.Fatalf("slice = %v", got)
+	}
+}
+
+func TestMultiCSVAlignment(t *testing.T) {
+	a := &TimeSeries{Name: "a"}
+	b := &TimeSeries{Name: "b"}
+	a.Add(0, 1)
+	a.Add(sim.Millisecond, 2)
+	b.Add(0, 3)
+	b.Add(sim.Millisecond, 4)
+	var sb strings.Builder
+	if err := MultiCSV(&sb, a, b); err != nil {
+		t.Fatal(err)
+	}
+	want := "time_ms,a,b\n0.000,1,3\n1.000,2,4\n"
+	if sb.String() != want {
+		t.Fatalf("csv = %q, want %q", sb.String(), want)
+	}
+	// Misaligned series must error.
+	c := &TimeSeries{Name: "c"}
+	c.Add(0, 1)
+	if err := MultiCSV(&sb, a, c); err == nil {
+		t.Fatal("expected error for mismatched lengths")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	s := &TimeSeries{Name: "u"}
+	s.Add(500*sim.Microsecond, 0.5)
+	var sb strings.Builder
+	if err := s.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "time_ms,u\n0.500,0.5\n" {
+		t.Fatalf("csv = %q", sb.String())
+	}
+}
+
+func TestLatencyAgainstSortReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l := NewLatencyRecorder()
+	var ref []sim.Duration
+	for i := 0; i < 5000; i++ {
+		d := sim.Duration(rng.Int63n(1e9))
+		l.Record(d)
+		ref = append(ref, d)
+	}
+	sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+	for _, p := range []float64{50, 90, 95, 99} {
+		want := ref[int(p/100*5000)-1]
+		if got := l.Percentile(p); got != want {
+			t.Errorf("P%v = %v, want %v", p, got, want)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Package trace samples the signals the paper plots over time: network
+// receive/transmit bandwidth, core utilization, effective frequency,
+// C-state residency, and NCAP wake-interrupt markers (the "INT (wake)"
+// annotations in Figs. 8 and 9).
+package trace
+
+import (
+	"io"
+
+	"ncap/internal/cpu"
+	"ncap/internal/nic"
+	"ncap/internal/power"
+	"ncap/internal/sim"
+	"ncap/internal/stats"
+)
+
+// Sampler periodically snapshots a server node's signals into aligned
+// time series.
+type Sampler struct {
+	eng      *sim.Engine
+	chip     *cpu.Chip
+	dev      *nic.NIC
+	interval sim.Duration
+	ticker   *sim.Ticker
+
+	// wakeCount returns the cumulative count of NCAP proactive-transition
+	// interrupts (IT_HIGH boosts + CIT wakes); nil when NCAP is off.
+	wakeCount func() int64
+
+	BWRx  *stats.TimeSeries // bytes/s received
+	BWTx  *stats.TimeSeries // bytes/s transmitted
+	Util  *stats.TimeSeries // mean core utilization [0,1]
+	Freq  *stats.TimeSeries // effective frequency, GHz
+	TC1   *stats.TimeSeries // fraction of interval cores spent in C1
+	TC3   *stats.TimeSeries // ... in C3
+	TC6   *stats.TimeSeries // ... in C6
+	Wakes *stats.TimeSeries // NCAP wake interrupts in the interval
+
+	prevRx, prevTx         int64
+	prevBusy               []sim.Duration
+	prevC1, prevC3, prevC6 []sim.Duration
+	prevWakes              int64
+	lastSample             sim.Time
+}
+
+// NewSampler builds a sampler over the server chip and NIC. wakeCount may
+// be nil.
+func NewSampler(chip *cpu.Chip, dev *nic.NIC, interval sim.Duration, wakeCount func() int64) *Sampler {
+	if interval <= 0 {
+		panic("trace: interval must be positive")
+	}
+	n := len(chip.Cores())
+	s := &Sampler{
+		eng: chip.Engine(), chip: chip, dev: dev, interval: interval,
+		wakeCount: wakeCount,
+		BWRx:      &stats.TimeSeries{Name: "bw_rx_bytes_per_s"},
+		BWTx:      &stats.TimeSeries{Name: "bw_tx_bytes_per_s"},
+		Util:      &stats.TimeSeries{Name: "util"},
+		Freq:      &stats.TimeSeries{Name: "freq_ghz"},
+		TC1:       &stats.TimeSeries{Name: "t_c1"},
+		TC3:       &stats.TimeSeries{Name: "t_c3"},
+		TC6:       &stats.TimeSeries{Name: "t_c6"},
+		Wakes:     &stats.TimeSeries{Name: "int_wake"},
+		prevBusy:  make([]sim.Duration, n),
+		prevC1:    make([]sim.Duration, n),
+		prevC3:    make([]sim.Duration, n),
+		prevC6:    make([]sim.Duration, n),
+	}
+	s.ticker = sim.NewTicker(s.eng, interval, s.sample)
+	return s
+}
+
+// Start begins sampling; the first point lands one interval from now.
+func (s *Sampler) Start() {
+	s.lastSample = s.eng.Now()
+	s.snapshotBaseline()
+	s.ticker.Start()
+}
+
+// Stop halts sampling.
+func (s *Sampler) Stop() { s.ticker.Stop() }
+
+func (s *Sampler) snapshotBaseline() {
+	s.prevRx = s.dev.RxBytes.Value()
+	s.prevTx = s.dev.TxBytes.Value()
+	for i, c := range s.chip.Cores() {
+		s.prevBusy[i] = c.BusyTime()
+		s.prevC1[i] = c.CTime(power.C1)
+		s.prevC3[i] = c.CTime(power.C3)
+		s.prevC6[i] = c.CTime(power.C6)
+	}
+	if s.wakeCount != nil {
+		s.prevWakes = s.wakeCount()
+	}
+}
+
+func (s *Sampler) sample() {
+	now := s.eng.Now()
+	dt := now - s.lastSample
+	if dt <= 0 {
+		return
+	}
+	secs := dt.Seconds()
+
+	rx, tx := s.dev.RxBytes.Value(), s.dev.TxBytes.Value()
+	s.BWRx.Add(now, float64(rx-s.prevRx)/secs)
+	s.BWTx.Add(now, float64(tx-s.prevTx)/secs)
+	s.prevRx, s.prevTx = rx, tx
+
+	var busy, c1, c3, c6 sim.Duration
+	cores := s.chip.Cores()
+	for i, c := range cores {
+		b := c.BusyTime()
+		busy += b - s.prevBusy[i]
+		s.prevBusy[i] = b
+
+		v1, v3, v6 := c.CTime(power.C1), c.CTime(power.C3), c.CTime(power.C6)
+		c1 += v1 - s.prevC1[i]
+		c3 += v3 - s.prevC3[i]
+		c6 += v6 - s.prevC6[i]
+		s.prevC1[i], s.prevC3[i], s.prevC6[i] = v1, v3, v6
+	}
+	denom := float64(dt) * float64(len(cores))
+	s.Util.Add(now, float64(busy)/denom)
+	s.TC1.Add(now, float64(c1)/denom)
+	s.TC3.Add(now, float64(c3)/denom)
+	s.TC6.Add(now, float64(c6)/denom)
+	s.Freq.Add(now, meanFreqGHz(s.chip))
+
+	if s.wakeCount != nil {
+		w := s.wakeCount()
+		s.Wakes.Add(now, float64(w-s.prevWakes))
+		s.prevWakes = w
+	} else {
+		s.Wakes.Add(now, 0)
+	}
+	s.lastSample = now
+}
+
+// meanFreqGHz averages the effective frequency across cores: identical to
+// the chip frequency under chip-wide DVFS, and the fleet-representative
+// value under per-core domains (the Sec. 7 extension).
+func meanFreqGHz(chip *cpu.Chip) float64 {
+	cores := chip.Cores()
+	var sum float64
+	for _, c := range cores {
+		sum += float64(c.Domain().Current().MHz)
+	}
+	return sum / float64(len(cores)) / 1000
+}
+
+// Series returns all sampled series, aligned.
+func (s *Sampler) Series() []*stats.TimeSeries {
+	return []*stats.TimeSeries{s.BWRx, s.BWTx, s.Util, s.Freq, s.TC1, s.TC3, s.TC6, s.Wakes}
+}
+
+// WriteCSV emits the aligned series as one CSV table.
+func (s *Sampler) WriteCSV(w io.Writer) error {
+	return stats.MultiCSV(w, s.Series()...)
+}

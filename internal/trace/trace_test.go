@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"ncap/internal/cpu"
+	"ncap/internal/netsim"
+	"ncap/internal/nic"
+	"ncap/internal/power"
+	"ncap/internal/sim"
+)
+
+func rig() (*sim.Engine, *cpu.Chip, *nic.NIC) {
+	eng := sim.NewEngine()
+	tab := power.DefaultTable()
+	chip := cpu.New(eng, 4, tab, power.DefaultModel(), tab.Max())
+	dev := nic.New(eng, 1, nic.DefaultConfig())
+	dev.SetIRQ(func() {})
+	return eng, chip, dev
+}
+
+func TestSamplerAlignedSeries(t *testing.T) {
+	eng, chip, dev := rig()
+	s := NewSampler(chip, dev, sim.Millisecond, nil)
+	s.Start()
+	eng.Run(10 * sim.Millisecond)
+	s.Stop()
+	series := s.Series()
+	if len(series) != 8 {
+		t.Fatalf("series = %d, want 8", len(series))
+	}
+	for _, ts := range series {
+		if len(ts.Points) != 10 {
+			t.Fatalf("%s has %d points, want 10", ts.Name, len(ts.Points))
+		}
+	}
+}
+
+func TestSamplerBandwidthAndUtil(t *testing.T) {
+	eng, chip, dev := rig()
+	s := NewSampler(chip, dev, sim.Millisecond, nil)
+	s.Start()
+	// 1 ms of busy work on core 0 during the first interval, and one
+	// received packet (186 wire bytes).
+	chip.Core(0).Submit(&cpu.Work{Cycles: 3_100_000, Prio: cpu.PrioTask})
+	dev.Receive(netsim.NewRequest(2, 1, 1, make([]byte, 120)))
+	eng.Run(2 * sim.Millisecond)
+
+	if got := s.Util.Points[0].V; got < 0.24 || got > 0.26 {
+		t.Fatalf("util[0] = %v, want 0.25 (1 of 4 cores busy)", got)
+	}
+	if got := s.Util.Points[1].V; got != 0 {
+		t.Fatalf("util[1] = %v, want 0", got)
+	}
+	wantBps := float64(186) / 0.001
+	if got := s.BWRx.Points[0].V; got != wantBps {
+		t.Fatalf("bwrx[0] = %v, want %v", got, wantBps)
+	}
+}
+
+func TestSamplerCStateFractions(t *testing.T) {
+	eng, chip, dev := rig()
+	// Park core 1 in C6 permanently.
+	chip.Core(1).SetIdleDecider(deepDecider{})
+	chip.Core(1).Submit(&cpu.Work{Cycles: 310, Prio: cpu.PrioTask})
+	s := NewSampler(chip, dev, sim.Millisecond, nil)
+	s.Start()
+	eng.Run(5 * sim.Millisecond)
+	// From the second interval on, core 1 is fully in C6: 1/4 of core time.
+	if got := s.TC6.Points[3].V; got < 0.24 || got > 0.26 {
+		t.Fatalf("t_c6 = %v, want 0.25", got)
+	}
+}
+
+type deepDecider struct{}
+
+func (deepDecider) SelectIdleState(*cpu.Core) power.CState { return power.C6 }
+func (deepDecider) OnWake(*cpu.Core, sim.Duration)         {}
+
+func TestSamplerWakeMarkers(t *testing.T) {
+	eng, chip, dev := rig()
+	count := int64(0)
+	s := NewSampler(chip, dev, sim.Millisecond, func() int64 { return count })
+	s.Start()
+	eng.Schedule(1500*sim.Microsecond, func() { count = 3 })
+	eng.Run(3 * sim.Millisecond)
+	if s.Wakes.Points[0].V != 0 || s.Wakes.Points[1].V != 3 || s.Wakes.Points[2].V != 0 {
+		t.Fatalf("wake markers = %v", s.Wakes.Points)
+	}
+}
+
+func TestSamplerFreqTracksChip(t *testing.T) {
+	eng, chip, dev := rig()
+	s := NewSampler(chip, dev, sim.Millisecond, nil)
+	s.Start()
+	eng.Schedule(1500*sim.Microsecond, func() { chip.SetPState(chip.Table().Min()) })
+	eng.Run(3 * sim.Millisecond)
+	if got := s.Freq.Points[0].V; got != 3.1 {
+		t.Fatalf("freq[0] = %v", got)
+	}
+	if got := s.Freq.Points[2].V; got != 0.8 {
+		t.Fatalf("freq[2] = %v", got)
+	}
+}
+
+func TestSamplerCSV(t *testing.T) {
+	eng, chip, dev := rig()
+	s := NewSampler(chip, dev, sim.Millisecond, nil)
+	s.Start()
+	eng.Run(2 * sim.Millisecond)
+	var sb strings.Builder
+	if err := s.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "time_ms,bw_rx_bytes_per_s,bw_tx_bytes_per_s,util,freq_ghz,t_c1,t_c3,t_c6,int_wake\n") {
+		t.Fatalf("header = %q", strings.SplitN(out, "\n", 2)[0])
+	}
+	if got := strings.Count(out, "\n"); got != 3 {
+		t.Fatalf("lines = %d, want header + 2 rows", got)
+	}
+}
+
+func TestSamplerStop(t *testing.T) {
+	eng, chip, dev := rig()
+	s := NewSampler(chip, dev, sim.Millisecond, nil)
+	s.Start()
+	eng.Run(2 * sim.Millisecond)
+	s.Stop()
+	eng.Run(10 * sim.Millisecond)
+	if len(s.Util.Points) != 2 {
+		t.Fatalf("points after stop = %d", len(s.Util.Points))
+	}
+}

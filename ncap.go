@@ -1,0 +1,102 @@
+// Package ncap is a Go reproduction of "NCAP: Network-Driven, Packet
+// Context-Aware Power Management for Client-Server Architecture"
+// (Alian et al., HPCA 2017).
+//
+// It bundles a deterministic discrete-event system simulator — a 4-core
+// chip with P/C states, Linux-like cpufreq/cpuidle governors, an
+// e1000-class NIC with interrupt moderation, a TCP/IP-over-Ethernet
+// network, and Apache/Memcached-like OLDI workloads — together with the
+// paper's mechanism: a NIC (and driver) that inspects packet context and
+// proactively steers processor performance and sleep states.
+//
+// The simplest entry point runs one experiment:
+//
+//	res := ncap.Run(ncap.DefaultConfig(ncap.NcapCons, ncap.Apache(), 24_000))
+//	fmt.Printf("p95=%v energy=%.1fJ\n", res.Latency.P95, res.EnergyJ)
+//
+// Policies match the paper's seven configurations (perf, ond, perf.idle,
+// ond.idle, ncap.sw, ncap.cons, ncap.aggr). See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for the paper-versus-measured record.
+package ncap
+
+import (
+	"ncap/internal/app"
+	"ncap/internal/cluster"
+	"ncap/internal/sim"
+)
+
+// Policy selects one of the paper's seven power-management configurations.
+type Policy = cluster.Policy
+
+// The seven policies of Sec. 6.
+const (
+	Perf     = cluster.Perf
+	Ond      = cluster.Ond
+	PerfIdle = cluster.PerfIdle
+	OndIdle  = cluster.OndIdle
+	NcapSW   = cluster.NcapSW
+	NcapCons = cluster.NcapCons
+	NcapAggr = cluster.NcapAggr
+)
+
+// AllPolicies returns the policies in the paper's presentation order.
+func AllPolicies() []Policy { return cluster.AllPolicies() }
+
+// ParsePolicy validates a policy name such as "ncap.cons".
+func ParsePolicy(s string) (Policy, error) { return cluster.ParsePolicy(s) }
+
+// Workload describes a server application profile.
+type Workload = app.Profile
+
+// Apache returns the paper's I/O-heavy web-serving workload model.
+func Apache() Workload { return app.ApacheProfile() }
+
+// Memcached returns the paper's memory-resident key-value workload model.
+func Memcached() Workload { return app.MemcachedProfile() }
+
+// WorkloadByName resolves "apache" or "memcached".
+func WorkloadByName(name string) (Workload, error) { return app.ProfileByName(name) }
+
+// Config describes one experiment; see cluster.Config for every knob.
+type Config = cluster.Config
+
+// Result carries an experiment's measurements.
+type Result = cluster.Result
+
+// LoadLevel indexes the paper's low/medium/high operating points.
+type LoadLevel = cluster.LoadLevel
+
+// Load levels from Sec. 6.
+const (
+	LowLoad    = cluster.LowLoad
+	MediumLoad = cluster.MediumLoad
+	HighLoad   = cluster.HighLoad
+)
+
+// LoadRPS returns the paper's request rate for a workload and level.
+func LoadRPS(workload string, l LoadLevel) float64 { return cluster.LoadRPS(workload, l) }
+
+// PaperSLA returns the paper's measured SLA (41 ms Apache, 3 ms Memcached).
+func PaperSLA(workload string) sim.Duration { return cluster.PaperSLA(workload) }
+
+// DefaultConfig returns a Table 1-parameterized experiment.
+func DefaultConfig(policy Policy, workload Workload, loadRPS float64) Config {
+	return cluster.DefaultConfig(policy, workload, loadRPS)
+}
+
+// Experiment is an assembled simulation ready to run.
+type Experiment = cluster.Cluster
+
+// NewExperiment assembles the four-node cluster for cfg. It panics on an
+// invalid config; call cfg.Validate first when handling user input.
+func NewExperiment(cfg Config) *Experiment { return cluster.New(cfg) }
+
+// Run assembles and runs one experiment.
+func Run(cfg Config) Result { return cluster.New(cfg).Run() }
+
+// Convenient duration re-exports for configuring experiments.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)

@@ -1,0 +1,58 @@
+package ncap_test
+
+import (
+	"testing"
+
+	"ncap"
+)
+
+func TestPublicAPISmoke(t *testing.T) {
+	cfg := ncap.DefaultConfig(ncap.NcapCons, ncap.Memcached(), 35_000)
+	cfg.Warmup = 30 * ncap.Millisecond
+	cfg.Measure = 100 * ncap.Millisecond
+	cfg.Drain = 30 * ncap.Millisecond
+	res := ncap.Run(cfg)
+	if res.Completed == 0 || res.EnergyJ <= 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+	if res.Policy != ncap.NcapCons || res.Workload != "memcached" {
+		t.Fatalf("labels wrong: %v %v", res.Policy, res.Workload)
+	}
+}
+
+func TestPublicAPIPolicies(t *testing.T) {
+	if len(ncap.AllPolicies()) != 7 {
+		t.Fatal("want seven policies")
+	}
+	p, err := ncap.ParsePolicy("ncap.aggr")
+	if err != nil || p != ncap.NcapAggr {
+		t.Fatalf("parse: %v %v", p, err)
+	}
+}
+
+func TestPublicAPIWorkloads(t *testing.T) {
+	if ncap.Apache().Name != "apache" || ncap.Memcached().Name != "memcached" {
+		t.Fatal("workload names")
+	}
+	w, err := ncap.WorkloadByName("apache")
+	if err != nil || w.Name != "apache" {
+		t.Fatal("lookup")
+	}
+	if ncap.LoadRPS("apache", ncap.MediumLoad) != 45_000 {
+		t.Fatal("load levels")
+	}
+	if ncap.PaperSLA("memcached") != 3*ncap.Millisecond {
+		t.Fatal("paper SLA")
+	}
+}
+
+func TestPublicAPIValidation(t *testing.T) {
+	cfg := ncap.DefaultConfig(ncap.Perf, ncap.Apache(), 24_000)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg.LoadRPS = -1
+	if cfg.Validate() == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
