@@ -11,6 +11,7 @@ package ncap_test
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -20,6 +21,7 @@ import (
 	"ncap/internal/cpu"
 	"ncap/internal/experiments"
 	"ncap/internal/power"
+	"ncap/internal/runner"
 	"ncap/internal/sim"
 	"ncap/internal/stats"
 )
@@ -351,6 +353,53 @@ func BenchmarkFleet_Imbalance(b *testing.B) {
 		if r.Policy == cluster.NcapAggr {
 			b.ReportMetric(r.TotalEnergyJ, "ncap_fleet_J")
 		}
+	}
+}
+
+// BenchmarkRunnerParallel measures the orchestration layer: the same
+// batch of independent simulations through a 1-worker pool (serial
+// baseline) and a GOMAXPROCS-sized pool. On an N-core machine the
+// parallel variant approaches N× lower wall time per batch; the reported
+// speedup metric is serial-ns/parallel-ns from the measured averages.
+func BenchmarkRunnerParallel(b *testing.B) {
+	o := experiments.Quick()
+	batch := func() []runner.Job {
+		var jobs []runner.Job
+		for _, prof := range []app.Profile{app.ApacheProfile(), app.MemcachedProfile()} {
+			for _, pol := range []cluster.Policy{cluster.Perf, cluster.OndIdle, cluster.NcapCons, cluster.NcapAggr} {
+				jobs = append(jobs, runner.Job{
+					Tag:    string(pol) + "/" + prof.Name,
+					Config: quickCfg(o, pol, prof, cluster.LoadRPS(prof.Name, cluster.LowLoad)),
+				})
+			}
+		}
+		return jobs
+	}
+
+	counts := []int{1}
+	if max := runtime.GOMAXPROCS(0); max > 1 {
+		counts = append(counts, max)
+	}
+	perWorker := map[int]float64{} // workers → ns/op
+	for _, workers := range counts {
+		workers := workers
+		b.Run(fmt.Sprintf("jobs=%d", workers), func(b *testing.B) {
+			pool := runner.New(runner.Options{Jobs: workers})
+			for i := 0; i < b.N; i++ {
+				for _, out := range pool.Run(batch()) {
+					if out.Err != nil {
+						b.Fatal(out.Err)
+					}
+				}
+			}
+			perWorker[workers] = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		})
+	}
+	if s, p := perWorker[1], perWorker[runtime.GOMAXPROCS(0)]; len(counts) > 1 && s > 0 && p > 0 {
+		printOnce("runner-parallel", func() {
+			fmt.Printf("\n# Runner — %d-job batch: serial %.2fs vs %d workers %.2fs (%.2fx)\n",
+				len(batch()), s/1e9, runtime.GOMAXPROCS(0), p/1e9, s/p)
+		})
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"ncap"
 	"ncap/internal/experiments"
 	"ncap/internal/power"
+	"ncap/internal/runner"
 	"ncap/internal/sim"
 )
 
@@ -30,6 +31,8 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "simulation seed")
 		exp        = flag.String("exp", "", "print a static experiment instead (fig1)")
 		verbose    = flag.Bool("v", false, "print extended counters")
+		cacheDir   = flag.String("cache", "", "result cache directory shared with ncapsweep (empty disables)")
+		timeout    = flag.Duration("timeout", 10*time.Minute, "wall-clock timeout (0 disables)")
 	)
 	flag.Parse()
 
@@ -71,9 +74,21 @@ func main() {
 		os.Exit(2)
 	}
 
+	pool := runner.New(runner.Options{Jobs: 1, CacheDir: *cacheDir, Timeout: *timeout})
 	start := time.Now()
-	res := ncap.Run(cfg)
+	out := pool.RunOne(runner.Job{
+		Tag:    fmt.Sprintf("%s/%s/%.0frps", cfg.Policy, cfg.Workload.Name, cfg.LoadRPS),
+		Config: cfg,
+	})
 	wall := time.Since(start)
+	if out.Err != nil {
+		fmt.Fprintln(os.Stderr, "ncapsim:", out.Err)
+		os.Exit(1)
+	}
+	res := out.Result
+	if out.CacheHit {
+		fmt.Fprintln(os.Stderr, "ncapsim: result served from cache")
+	}
 
 	res.WriteRow(os.Stdout)
 	fmt.Printf("latency: p50=%v p90=%v p95=%v p99=%v max=%v (n=%d)\n",

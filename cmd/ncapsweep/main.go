@@ -14,17 +14,26 @@
 //
 // -full switches from quick windows to the EXPERIMENTS.md measurement
 // windows (slower but matches the recorded numbers).
+//
+// Independent simulations run concurrently across -jobs workers (default:
+// GOMAXPROCS). Tables aggregate in deterministic order, so stdout is
+// byte-identical at any -jobs value; progress goes to stderr. -cache
+// memoizes results by config content under a directory, so a repeated
+// sweep (same code, same seed, same windows) completes from cache.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"ncap"
 	"ncap/internal/app"
 	"ncap/internal/cluster"
 	"ncap/internal/experiments"
+	"ncap/internal/runner"
 )
 
 func main() {
@@ -33,6 +42,10 @@ func main() {
 		workload = flag.String("workload", "", "restrict to one workload (apache, memcached)")
 		full     = flag.Bool("full", false, "use the full measurement windows")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
+		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulations")
+		cacheDir = flag.String("cache", "", "result cache directory (empty disables caching)")
+		timeout  = flag.Duration("timeout", 10*time.Minute, "per-simulation wall-clock timeout (0 disables)")
+		quiet    = flag.Bool("q", false, "suppress progress output on stderr")
 	)
 	flag.Parse()
 
@@ -41,6 +54,19 @@ func main() {
 		o = experiments.Full()
 	}
 	o.Seed = *seed
+
+	var progress *os.File
+	if !*quiet {
+		progress = os.Stderr
+	}
+	pool := runner.New(runner.Options{
+		Jobs:     *jobs,
+		CacheDir: *cacheDir,
+		Timeout:  *timeout,
+		Progress: progress,
+	})
+	o.Runner = pool
+	start := time.Now()
 
 	profiles := []app.Profile{app.ApacheProfile(), app.MemcachedProfile()}
 	if *workload != "" {
@@ -86,7 +112,18 @@ func main() {
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "ncapsweep: unknown -exp %q\n", *exp)
+		flag.Usage()
 		os.Exit(2)
+	}
+
+	if !*quiet {
+		st := pool.Stats()
+		fmt.Fprintf(os.Stderr, "ncapsweep: %d simulations (%d executed, %d cached, %d failed) on %d workers in %v\n",
+			st.Jobs, st.Ran, st.CacheHits, st.Failures, pool.Workers(),
+			time.Since(start).Round(time.Millisecond))
+	}
+	if pool.Stats().Failures > 0 {
+		os.Exit(1)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"ncap"
 	"ncap/internal/cluster"
 	"ncap/internal/experiments"
+	"ncap/internal/runner"
 	"ncap/internal/sim"
 )
 
@@ -31,6 +32,7 @@ func main() {
 		snapshot   = flag.Bool("snapshot", false, "emit the ond.idle + ncap.cons snapshot pair")
 		out        = flag.String("out", "", "output file prefix (default: stdout)")
 		seed       = flag.Uint64("seed", 1, "simulation seed")
+		jobsN      = flag.Int("jobs", 2, "concurrent simulations (the -snapshot pair parallelizes)")
 	)
 	flag.Parse()
 
@@ -45,6 +47,10 @@ func main() {
 	o := experiments.Quick()
 	o.Measure = sim.Duration(measure.Nanoseconds())
 	o.Seed = *seed
+	// The snapshot pair holds two independent simulations; a two-worker
+	// pool runs them concurrently (trace runs always execute — the result
+	// cache never serves them).
+	o.Runner = runner.New(runner.Options{Jobs: *jobsN})
 
 	if *snapshot {
 		ond, ncp := experiments.Snapshots(o, prof, lvl)

@@ -33,11 +33,13 @@ func pair(name string, with, without cluster.Result) AblationPair {
 // sleeping cores are woken only by the moderated rx interrupt.
 func AblationCIT(o Options, prof app.Profile, lvl cluster.LoadLevel) AblationPair {
 	load := cluster.LoadRPS(prof.Name, lvl)
-	with := run(o, cluster.NcapCons, prof, load, nil)
-	without := run(o, cluster.NcapCons, prof, load, func(c *cluster.Config) {
-		c.NCAP.CIT = sim.Second // effectively never speculate
+	results := runBatch(o, "abl-cit", []cluster.Config{
+		configFor(o, cluster.NcapCons, prof, load, nil),
+		configFor(o, cluster.NcapCons, prof, load, func(c *cluster.Config) {
+			c.NCAP.CIT = sim.Second // effectively never speculate
+		}),
 	})
-	return pair("cit-wake", with, without)
+	return pair("cit-wake", results[0], results[1])
 }
 
 // AblationContext compares context-aware template matching against the
@@ -52,9 +54,11 @@ func AblationContext(o Options) AblationPair {
 			c.NaiveNCAP = naive
 		}
 	}
-	with := run(o, cluster.NcapAggr, prof, 5_000, mutate(false))
-	without := run(o, cluster.NcapAggr, prof, 5_000, mutate(true))
-	return pair("context-aware", with, without)
+	results := runBatch(o, "abl-ctx", []cluster.Config{
+		configFor(o, cluster.NcapAggr, prof, 5_000, mutate(false)),
+		configFor(o, cluster.NcapAggr, prof, 5_000, mutate(true)),
+	})
+	return pair("context-aware", results[0], results[1])
 }
 
 // AblationOverlap moves NCAP's packet inspection from wire arrival to DMA
@@ -62,11 +66,13 @@ func AblationContext(o Options) AblationPair {
 // NIC→memory delivery path (Sec. 2.2).
 func AblationOverlap(o Options, prof app.Profile, lvl cluster.LoadLevel) AblationPair {
 	load := cluster.LoadRPS(prof.Name, lvl)
-	with := run(o, cluster.NcapCons, prof, load, nil)
-	without := run(o, cluster.NcapCons, prof, load, func(c *cluster.Config) {
-		c.NIC.InspectAtDMAComplete = true
+	results := runBatch(o, "abl-overlap", []cluster.Config{
+		configFor(o, cluster.NcapCons, prof, load, nil),
+		configFor(o, cluster.NcapCons, prof, load, func(c *cluster.Config) {
+			c.NIC.InspectAtDMAComplete = true
+		}),
 	})
-	return pair("wake-delivery-overlap", with, without)
+	return pair("wake-delivery-overlap", results[0], results[1])
 }
 
 // FConsRow is one FCONS setting's outcome.
@@ -79,14 +85,18 @@ type FConsRow struct {
 // paper's aggressive (1) and conservative (5) settings and beyond.
 func AblationFCONS(o Options, prof app.Profile, lvl cluster.LoadLevel) []FConsRow {
 	load := cluster.LoadRPS(prof.Name, lvl)
-	var rows []FConsRow
-	for _, f := range []int{1, 2, 5, 10} {
+	steps := []int{1, 2, 5, 10}
+	cfgs := make([]cluster.Config, len(steps))
+	for i, f := range steps {
 		f := f
-		res := run(o, cluster.NcapCons, prof, load, func(c *cluster.Config) {
+		cfgs[i] = configFor(o, cluster.NcapCons, prof, load, func(c *cluster.Config) {
 			c.NCAP.FCONS = f
 			c.OverrideFCONS = true
 		})
-		rows = append(rows, FConsRow{FCONS: f, Result: res})
+	}
+	rows := make([]FConsRow, len(steps))
+	for i, res := range runBatch(o, "abl-fcons", cfgs) {
+		rows[i] = FConsRow{FCONS: steps[i], Result: res}
 	}
 	return rows
 }

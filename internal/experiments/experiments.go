@@ -10,10 +10,12 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"os"
 
 	"ncap/internal/app"
 	"ncap/internal/cluster"
 	"ncap/internal/power"
+	"ncap/internal/runner"
 	"ncap/internal/sim"
 )
 
@@ -24,6 +26,13 @@ type Options struct {
 	Measure sim.Duration
 	Drain   sim.Duration
 	Seed    uint64
+
+	// Runner, when non-nil, executes every simulation batch through the
+	// shared worker pool (parallelism, caching, isolation). A nil Runner
+	// runs batches serially inline — same results, one at a time. Either
+	// way rows aggregate in submission order, so tables are byte-identical
+	// at any worker count.
+	Runner *runner.Pool
 }
 
 // Quick returns short windows for smoke/bench runs.
@@ -54,14 +63,50 @@ func (o Options) apply(cfg cluster.Config) cluster.Config {
 	return cfg
 }
 
-// run builds and runs one experiment.
-func run(o Options, policy cluster.Policy, prof app.Profile, load float64,
-	mutate func(*cluster.Config)) cluster.Result {
+// configFor resolves one experiment's complete cluster configuration.
+func configFor(o Options, policy cluster.Policy, prof app.Profile, load float64,
+	mutate func(*cluster.Config)) cluster.Config {
 	cfg := o.apply(cluster.DefaultConfig(policy, prof, load))
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	return cluster.New(cfg).Run()
+	return cfg
+}
+
+// runBatch executes a slice of experiment configurations — through the
+// attached runner pool when one is set, serially otherwise — and returns
+// results in input order. A failed job (panic or timeout inside the pool)
+// is reported to stderr and yields a zero Result so the rest of the sweep
+// still completes.
+func runBatch(o Options, exp string, cfgs []cluster.Config) []cluster.Result {
+	out := make([]cluster.Result, len(cfgs))
+	if o.Runner == nil {
+		for i, cfg := range cfgs {
+			out[i] = cluster.New(cfg).Run()
+		}
+		return out
+	}
+	jobs := make([]runner.Job, len(cfgs))
+	for i, cfg := range cfgs {
+		jobs[i] = runner.Job{
+			Tag:    fmt.Sprintf("%s/%s/%s/%.0frps", exp, cfg.Workload.Name, cfg.Policy, cfg.LoadRPS),
+			Config: cfg,
+		}
+	}
+	for i, oc := range o.Runner.Run(jobs) {
+		if oc.Err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v (zero result substituted)\n", oc.Err)
+			continue
+		}
+		out[i] = oc.Result
+	}
+	return out
+}
+
+// run builds and runs one experiment.
+func run(o Options, policy cluster.Policy, prof app.Profile, load float64,
+	mutate func(*cluster.Config)) cluster.Result {
+	return runBatch(o, "single", []cluster.Config{configFor(o, policy, prof, load, mutate)})[0]
 }
 
 // ---------------------------------------------------------------------------
@@ -128,17 +173,22 @@ func Fig2Periods() []sim.Duration {
 	}
 }
 
-// Fig2 sweeps the ondemand period for Apache under the ond policy.
+// Fig2 sweeps the ondemand period for Apache under the ond policy. All
+// (period, load) cells run as one batch.
 func Fig2(o Options) []Fig2Row {
 	prof := app.ApacheProfile()
 	var rows []Fig2Row
+	var cfgs []cluster.Config
 	for _, period := range Fig2Periods() {
 		for _, lvl := range []cluster.LoadLevel{cluster.LowLoad, cluster.MediumLoad, cluster.HighLoad} {
 			p := period
-			res := run(o, cluster.Ond, prof, cluster.LoadRPS(prof.Name, lvl),
-				func(c *cluster.Config) { c.OndemandPeriod = p })
-			rows = append(rows, Fig2Row{Period: period, Level: lvl, P95: res.Latency.P95})
+			cfgs = append(cfgs, configFor(o, cluster.Ond, prof, cluster.LoadRPS(prof.Name, lvl),
+				func(c *cluster.Config) { c.OndemandPeriod = p }))
+			rows = append(rows, Fig2Row{Period: period, Level: lvl})
 		}
+	}
+	for i, res := range runBatch(o, "fig2", cfgs) {
+		rows[i].P95 = res.Latency.P95
 	}
 	return rows
 }
@@ -154,6 +204,8 @@ type TraceResult struct {
 
 // Trace runs one policy at the given load with time-series sampling at
 // interval and returns the result (Result.Sampler holds the series).
+// Trace-sampling runs bypass the result cache: their value is the live
+// time series, which the cache does not serialize.
 func Trace(o Options, policy cluster.Policy, prof app.Profile, load float64, interval sim.Duration) TraceResult {
 	res := run(o, policy, prof, load, func(c *cluster.Config) { c.TraceInterval = interval })
 	return TraceResult{Policy: policy, Result: res}
@@ -167,11 +219,17 @@ func Fig4(o Options) TraceResult {
 }
 
 // Snapshots reproduces the Fig. 8/9 right panels: BW(Rx)-vs-F traces for
-// ond.idle and ncap.cons over the same workload and load.
+// ond.idle and ncap.cons over the same workload and load, run as one
+// two-job batch.
 func Snapshots(o Options, prof app.Profile, lvl cluster.LoadLevel) (ondIdle, ncapCons TraceResult) {
 	load := cluster.LoadRPS(prof.Name, lvl)
-	ondIdle = Trace(o, cluster.OndIdle, prof, load, 500*sim.Microsecond)
-	ncapCons = Trace(o, cluster.NcapCons, prof, load, 500*sim.Microsecond)
+	trace := func(c *cluster.Config) { c.TraceInterval = 500 * sim.Microsecond }
+	results := runBatch(o, "snapshot", []cluster.Config{
+		configFor(o, cluster.OndIdle, prof, load, trace),
+		configFor(o, cluster.NcapCons, prof, load, trace),
+	})
+	ondIdle = TraceResult{Policy: cluster.OndIdle, Result: results[0]}
+	ncapCons = TraceResult{Policy: cluster.NcapCons, Result: results[1]}
 	return ondIdle, ncapCons
 }
 
@@ -198,12 +256,17 @@ func LoadGrid(workload string) []float64 {
 }
 
 // LatencyVsLoad measures the latency-load curve under the perf policy —
-// the paper's protocol for locating the SLA (Sec. 6).
+// the paper's protocol for locating the SLA (Sec. 6). The whole grid runs
+// as one batch.
 func LatencyVsLoad(o Options, prof app.Profile) []CurvePoint {
-	var pts []CurvePoint
-	for _, load := range LoadGrid(prof.Name) {
-		res := run(o, cluster.Perf, prof, load, nil)
-		pts = append(pts, CurvePoint{LoadRPS: load, P95: res.Latency.P95})
+	grid := LoadGrid(prof.Name)
+	cfgs := make([]cluster.Config, len(grid))
+	for i, load := range grid {
+		cfgs[i] = configFor(o, cluster.Perf, prof, load, nil)
+	}
+	pts := make([]CurvePoint, len(grid))
+	for i, res := range runBatch(o, "lvl", cfgs) {
+		pts[i] = CurvePoint{LoadRPS: grid[i], P95: res.Latency.P95}
 	}
 	return pts
 }
@@ -244,10 +307,22 @@ func FindSLA(pts []CurvePoint) (sla sim.Duration, kneeLoad float64) {
 // inflexion value (Sec. 6). The looser of the two anchors becomes the
 // SLA; the curve is returned for reporting.
 func MeasuredSLA(o Options, prof app.Profile) (sim.Duration, []CurvePoint) {
-	pts := LatencyVsLoad(o, prof)
+	// Curve grid and high-load baseline submit as one batch; the result
+	// cache additionally dedups the baseline against the grid's 1.0 point.
+	grid := LoadGrid(prof.Name)
+	cfgs := make([]cluster.Config, 0, len(grid)+1)
+	for _, load := range grid {
+		cfgs = append(cfgs, configFor(o, cluster.Perf, prof, load, nil))
+	}
+	cfgs = append(cfgs, configFor(o, cluster.Perf, prof, cluster.LoadRPS(prof.Name, cluster.HighLoad), nil))
+	results := runBatch(o, "sla", cfgs)
+
+	pts := make([]CurvePoint, len(grid))
+	for i := range grid {
+		pts[i] = CurvePoint{LoadRPS: grid[i], P95: results[i].Latency.P95}
+	}
 	knee, _ := FindSLA(pts)
-	base := run(o, cluster.Perf, prof, cluster.LoadRPS(prof.Name, cluster.HighLoad), nil)
-	sla := base.Latency.P95
+	sla := results[len(grid)].Latency.P95
 	if knee > sla {
 		sla = knee
 	}
@@ -276,12 +351,24 @@ func Comparison(o Options, prof app.Profile, sla sim.Duration, levels ...cluster
 	if len(levels) == 0 {
 		levels = []cluster.LoadLevel{cluster.LowLoad, cluster.MediumLoad, cluster.HighLoad}
 	}
-	var rows []PolicyRow
+	// All policy × level cells submit as one batch; rows assemble in the
+	// paper's presentation order from the order-preserving results.
+	pols := cluster.AllPolicies()
+	var cfgs []cluster.Config
 	for _, lvl := range levels {
 		load := cluster.LoadRPS(prof.Name, lvl)
+		for _, pol := range pols {
+			cfgs = append(cfgs, configFor(o, pol, prof, load, nil))
+		}
+	}
+	results := runBatch(o, "policies", cfgs)
+
+	var rows []PolicyRow
+	for li, lvl := range levels {
+		load := cluster.LoadRPS(prof.Name, lvl)
 		var perfEnergy float64
-		for _, pol := range cluster.AllPolicies() {
-			res := run(o, pol, prof, load, nil)
+		for pi, pol := range pols {
+			res := results[li*len(pols)+pi]
 			if pol == cluster.Perf {
 				perfEnergy = res.EnergyJ
 			}

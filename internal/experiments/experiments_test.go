@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
 	"ncap/internal/app"
 	"ncap/internal/cluster"
 	"ncap/internal/power"
+	"ncap/internal/runner"
 	"ncap/internal/sim"
 )
 
@@ -286,6 +288,27 @@ func TestTraceSnapshotsProduceBothPolicies(t *testing.T) {
 	}
 	if ondWakes != 0 {
 		t.Fatal("ond.idle trace has INT(wake) markers")
+	}
+}
+
+// TestRunnerParityWithSerial pins the determinism guarantee at the
+// experiments layer: attaching a parallel runner pool must not change a
+// single row relative to inline serial execution.
+func TestRunnerParityWithSerial(t *testing.T) {
+	serial := tiny()
+	parallel := tiny()
+	parallel.Runner = runner.New(runner.Options{Jobs: 4})
+
+	a := Comparison(serial, app.MemcachedProfile(), 3*sim.Millisecond, cluster.LowLoad)
+	b := Comparison(parallel, app.MemcachedProfile(), 3*sim.Millisecond, cluster.LowLoad)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("parallel Comparison rows differ from serial")
+	}
+
+	fa := FleetImbalance(serial, app.MemcachedProfile(), 40_000, cluster.Perf, cluster.NcapAggr)
+	fb := FleetImbalance(parallel, app.MemcachedProfile(), 40_000, cluster.Perf, cluster.NcapAggr)
+	if !reflect.DeepEqual(fa, fb) {
+		t.Fatal("parallel FleetImbalance rows differ from serial")
 	}
 }
 

@@ -21,14 +21,16 @@ type ExtensionRow struct {
 // under ncap.aggr.
 func ExtensionMultiQueue(o Options, prof app.Profile, lvl cluster.LoadLevel) []ExtensionRow {
 	load := cluster.LoadRPS(prof.Name, lvl)
-	base := run(o, cluster.NcapAggr, prof, load, nil)
-	multi := run(o, cluster.NcapAggr, prof, load, func(c *cluster.Config) {
-		c.Queues = c.Cores
-		c.PerCoreDVFS = true
+	results := runBatch(o, "ext-mq", []cluster.Config{
+		configFor(o, cluster.NcapAggr, prof, load, nil),
+		configFor(o, cluster.NcapAggr, prof, load, func(c *cluster.Config) {
+			c.Queues = c.Cores
+			c.PerCoreDVFS = true
+		}),
 	})
 	return []ExtensionRow{
-		{Name: "single-queue/chip-wide", Result: base},
-		{Name: "multi-queue/per-core", Result: multi},
+		{Name: "single-queue/chip-wide", Result: results[0]},
+		{Name: "multi-queue/per-core", Result: results[1]},
 	}
 }
 
@@ -36,10 +38,12 @@ func ExtensionMultiQueue(o Options, prof app.Profile, lvl cluster.LoadLevel) []E
 // assistance (halved per-packet cycles, thresholds raised per Sec. 7).
 func ExtensionTOE(o Options, prof app.Profile, lvl cluster.LoadLevel) []ExtensionRow {
 	load := cluster.LoadRPS(prof.Name, lvl)
-	base := run(o, cluster.NcapCons, prof, load, nil)
-	toe := run(o, cluster.NcapCons, prof, load, func(c *cluster.Config) { c.TOE = true })
+	results := runBatch(o, "ext-toe", []cluster.Config{
+		configFor(o, cluster.NcapCons, prof, load, nil),
+		configFor(o, cluster.NcapCons, prof, load, func(c *cluster.Config) { c.TOE = true }),
+	})
 	return []ExtensionRow{
-		{Name: "stock-stack", Result: base},
-		{Name: "toe-offload", Result: toe},
+		{Name: "stock-stack", Result: results[0]},
+		{Name: "toe-offload", Result: results[1]},
 	}
 }

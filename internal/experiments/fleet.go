@@ -27,17 +27,27 @@ var FleetShares = []float64{0.55, 0.20, 0.15, 0.10}
 
 // FleetImbalance runs a 4-server fleet at the given aggregate load for
 // each policy and reports fleet energy and the worst per-server tail.
+// Every (policy, server) simulation is independent, so the whole fleet
+// submits as one batch; rows keep the given policy order.
 func FleetImbalance(o Options, prof app.Profile, aggregateRPS float64, policies ...cluster.Policy) []FleetRow {
 	if len(policies) == 0 {
 		policies = []cluster.Policy{cluster.Perf, cluster.OndIdle, cluster.NcapAggr}
 	}
-	var rows []FleetRow
+	var cfgs []cluster.Config
 	for _, pol := range policies {
-		row := FleetRow{Policy: pol}
 		for i, share := range FleetShares {
-			load := aggregateRPS * share
 			seedOffset := uint64(i) // decorrelate the servers
-			res := run(o, pol, prof, load, func(c *cluster.Config) { c.Seed += seedOffset })
+			cfgs = append(cfgs, configFor(o, pol, prof, aggregateRPS*share,
+				func(c *cluster.Config) { c.Seed += seedOffset }))
+		}
+	}
+	results := runBatch(o, "fleet", cfgs)
+
+	rows := make([]FleetRow, 0, len(policies))
+	for pi, pol := range policies {
+		row := FleetRow{Policy: pol}
+		for si := range FleetShares {
+			res := results[pi*len(FleetShares)+si]
 			row.TotalEnergyJ += res.EnergyJ
 			if res.Latency.P95 > row.WorstP95 {
 				row.WorstP95 = res.Latency.P95

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"testing"
+
+	"ncap/internal/app"
+	"ncap/internal/cluster"
+	"ncap/internal/sim"
+)
+
+func TestFleetSharesSumToOne(t *testing.T) {
+	var sum float64
+	for _, s := range FleetShares {
+		sum += s
+	}
+	if sum != 1.0 {
+		t.Fatalf("fleet shares sum to %v, want 1", sum)
+	}
+}
+
+func TestFleetImbalanceRowOrder(t *testing.T) {
+	o := tiny()
+	prof := app.MemcachedProfile()
+	agg := cluster.LoadRPS(prof.Name, cluster.LowLoad)
+
+	// Default policy set and order: perf, ond.idle, ncap.aggr.
+	rows := FleetImbalance(o, prof, agg)
+	want := []cluster.Policy{cluster.Perf, cluster.OndIdle, cluster.NcapAggr}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(want))
+	}
+	for i, w := range want {
+		if rows[i].Policy != w {
+			t.Fatalf("row %d policy = %v, want %v", i, rows[i].Policy, w)
+		}
+	}
+
+	// An explicit policy list is honored verbatim, including order.
+	custom := FleetImbalance(o, prof, agg, cluster.NcapCons, cluster.Perf)
+	if len(custom) != 2 || custom[0].Policy != cluster.NcapCons || custom[1].Policy != cluster.Perf {
+		t.Fatalf("custom rows = %+v, want [ncap.cons perf]", custom)
+	}
+}
+
+// TestFleetAggregation checks the row math against per-server runs done
+// by hand: TotalEnergyJ sums energy over FleetShares and WorstP95 is the
+// max tail across the fleet's servers.
+func TestFleetAggregation(t *testing.T) {
+	o := tiny()
+	prof := app.MemcachedProfile()
+	agg := cluster.LoadRPS(prof.Name, cluster.LowLoad)
+
+	rows := FleetImbalance(o, prof, agg, cluster.Perf)
+	row := rows[0]
+
+	var wantEnergy float64
+	var wantWorst sim.Duration
+	for i, share := range FleetShares {
+		seedOffset := uint64(i)
+		res := run(o, cluster.Perf, prof, agg*share,
+			func(c *cluster.Config) { c.Seed += seedOffset })
+		wantEnergy += res.EnergyJ
+		if res.Latency.P95 > wantWorst {
+			wantWorst = res.Latency.P95
+		}
+	}
+	if row.TotalEnergyJ != wantEnergy {
+		t.Fatalf("fleet energy %v, want sum over shares %v", row.TotalEnergyJ, wantEnergy)
+	}
+	if row.WorstP95 != wantWorst {
+		t.Fatalf("fleet worst p95 %v, want max over servers %v", row.WorstP95, wantWorst)
+	}
+	if row.TotalEnergyJ <= 0 || row.WorstP95 <= 0 {
+		t.Fatal("fleet row carries no measurements")
+	}
+}
+
+// TestFleetServersDecorrelated pins the seed-offset mechanism: the two
+// equal-share servers must not be byte-for-byte replicas of each other.
+func TestFleetServersDecorrelated(t *testing.T) {
+	o := tiny()
+	prof := app.MemcachedProfile()
+	load := 20_000.0
+
+	a := run(o, cluster.Perf, prof, load, nil)
+	b := run(o, cluster.Perf, prof, load, func(c *cluster.Config) { c.Seed++ })
+	if a.Latency.P95 == b.Latency.P95 && a.EnergyJ == b.EnergyJ {
+		t.Fatal("seed offset did not decorrelate the servers")
+	}
+}

@@ -112,14 +112,18 @@ func ModerationSweep(o Options, prof app.Profile) []ModerationRow {
 		{30 * sim.Microsecond, 100 * sim.Microsecond}, // default
 		{100 * sim.Microsecond, 300 * sim.Microsecond},
 	}
-	var rows []ModerationRow
-	for _, s := range settings {
+	cfgs := make([]cluster.Config, len(settings))
+	for i, s := range settings {
 		s := s
-		res := run(o, cluster.Perf, prof, load, func(c *cluster.Config) {
+		cfgs[i] = configFor(o, cluster.Perf, prof, load, func(c *cluster.Config) {
 			c.NIC.PITT = s.pitt
 			c.NIC.AITT = s.aitt
 		})
-		rows = append(rows, ModerationRow{PITT: s.pitt, AITT: s.aitt, P95: res.Latency.P95, IRQs: res.IRQs})
+	}
+	rows := make([]ModerationRow, len(settings))
+	for i, res := range runBatch(o, "moderation", cfgs) {
+		rows[i] = ModerationRow{PITT: settings[i].pitt, AITT: settings[i].aitt,
+			P95: res.Latency.P95, IRQs: res.IRQs}
 	}
 	return rows
 }

@@ -1,0 +1,94 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ncap/internal/cluster"
+)
+
+// cacheEntry is the on-disk representation of one memoized result. The
+// schema version and key are stored redundantly so a corrupted, renamed
+// or stale file is detected and treated as a miss rather than replayed.
+type cacheEntry struct {
+	Schema string          `json:"schema"`
+	Key    string          `json:"key"`
+	Tag    string          `json:"tag"`
+	Result cluster.Result  `json:"result"`
+	Config json.RawMessage `json:"config"` // for humans debugging a cache dir
+}
+
+// cache is a content-keyed directory of JSON result files. All methods
+// are safe for concurrent use: distinct keys touch distinct files, and
+// same-key writes go through an atomic temp-file rename.
+type cache struct{ dir string }
+
+func openCache(dir string) (*cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache dir: %w", err)
+	}
+	return &cache{dir: dir}, nil
+}
+
+func (c *cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// load returns the memoized result for key, or ok=false on any miss —
+// absent file, unreadable JSON, schema or key mismatch. A bad entry is
+// never an error: the job simply runs.
+func (c *cache) load(key string) (cluster.Result, bool) {
+	blob, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return cluster.Result{}, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(blob, &e); err != nil {
+		return cluster.Result{}, false
+	}
+	if e.Schema != schemaVersion || e.Key != key {
+		return cluster.Result{}, false
+	}
+	return e.Result, true
+}
+
+// store memoizes a result under key. The write is atomic (temp file +
+// rename) so concurrent sweeps sharing a cache dir never observe a
+// partial entry; failures are returned but safe to ignore — the cache is
+// an accelerator, not a store of record.
+func (c *cache) store(key, tag string, job Job, res cluster.Result) error {
+	// The sampler holds live time series; Cacheable() excludes tracing
+	// jobs, so this is belt and braces against future result fields.
+	res.Sampler = nil
+	cfgBlob, _ := json.Marshal(job.Config)
+	blob, err := json.MarshalIndent(cacheEntry{
+		Schema: schemaVersion,
+		Key:    key,
+		Tag:    tag,
+		Result: res,
+		Config: cfgBlob,
+	}, "", " ")
+	if err != nil {
+		return fmt.Errorf("runner: marshal cache entry: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, "."+key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("runner: cache write: %w", err)
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: cache write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: cache write: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: cache write: %w", err)
+	}
+	return nil
+}

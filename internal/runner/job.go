@@ -1,0 +1,63 @@
+// Package runner turns "run one simulation" into "orchestrate a batch of
+// simulations": it schedules independent cluster experiments across a
+// worker pool, isolates each run (panic recovery, wall-clock timeouts),
+// memoizes results in a content-keyed on-disk cache, and reports progress.
+//
+// Determinism contract: every simulation is a pure function of its
+// cluster.Config (same config and seed → identical Result), and Run
+// aggregates outcomes in job submission order regardless of worker
+// scheduling — so a sweep produces byte-identical tables at any worker
+// count.
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"ncap/internal/cluster"
+)
+
+// schemaVersion tags cache keys and entries. Bump it whenever the meaning
+// of cluster.Config or cluster.Result changes in a way serialized JSON
+// cannot express (new semantics behind an old field, changed defaults
+// applied after hashing) so stale cache entries are never replayed.
+const schemaVersion = "ncap-runner-v1"
+
+// Job is one simulation to run: a fully resolved experiment configuration
+// plus a human-readable tag for progress and error reporting. The tag is
+// cosmetic; the identity of a job is its config.
+type Job struct {
+	// Tag labels the job in progress output and errors, e.g.
+	// "policies/apache/low/ncap.aggr". Not part of the cache key.
+	Tag string
+	// Config is the complete experiment description. It must be fully
+	// resolved before submission: the key is computed from it, so two
+	// jobs with equal configs are the same experiment.
+	Config cluster.Config
+}
+
+// Key returns the job's deterministic content key: a hex SHA-256 over the
+// canonical JSON serialization of the config plus the cache schema
+// version. encoding/json writes struct fields in declaration order and
+// the config is plain data (no maps, no pointers), so the serialization —
+// and therefore the key — is stable across processes and worker counts.
+func (j Job) Key() string {
+	blob, err := json.Marshal(j.Config)
+	if err != nil {
+		// The config is a closed set of plain-data fields; marshal can
+		// only fail on NaN/Inf floats, which no valid config contains.
+		panic(fmt.Sprintf("runner: config not serializable: %v", err))
+	}
+	h := sha256.New()
+	h.Write([]byte(schemaVersion))
+	h.Write([]byte{0})
+	h.Write(blob)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Cacheable reports whether the job's result can be memoized on disk.
+// Trace-sampling runs carry a live *trace.Sampler whose time series the
+// cache does not serialize, so they always execute.
+func (j Job) Cacheable() bool { return j.Config.TraceInterval == 0 }

@@ -1,0 +1,64 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// progress reports batch completion to a writer (stderr in the CLIs):
+// completed/total, cache hits, and an ETA extrapolated from the mean
+// per-job wall time so far. It throttles itself so a fast batch does not
+// flood the terminal, but always reports the final job.
+type progress struct {
+	mu    sync.Mutex
+	w     io.Writer
+	total int
+	done  int
+	hits  int
+	start time.Time
+	last  time.Time
+}
+
+// progressEvery throttles intermediate progress lines.
+const progressEvery = 250 * time.Millisecond
+
+func newProgress(w io.Writer, total int) *progress {
+	return &progress{w: w, total: total, start: time.Now()}
+}
+
+// jobDone records one completion and maybe prints. Safe for concurrent
+// use by workers.
+func (p *progress) jobDone(cacheHit bool) {
+	if p == nil || p.w == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	if cacheHit {
+		p.hits++
+	}
+	now := time.Now()
+	if p.done < p.total && now.Sub(p.last) < progressEvery {
+		return
+	}
+	p.last = now
+	elapsed := now.Sub(p.start)
+	line := fmt.Sprintf("runner: %d/%d done", p.done, p.total)
+	if p.hits > 0 {
+		line += fmt.Sprintf(" (%d cached)", p.hits)
+	}
+	if p.done < p.total && p.done > p.hits {
+		// ETA from completed-so-far; cache hits are ~free, so exclude
+		// them from the per-job average.
+		perJob := elapsed / time.Duration(p.done)
+		eta := perJob * time.Duration(p.total-p.done)
+		line += fmt.Sprintf(" eta %v", eta.Round(time.Second))
+	}
+	if p.done == p.total {
+		line += fmt.Sprintf(" in %v", elapsed.Round(time.Millisecond))
+	}
+	fmt.Fprintln(p.w, line)
+}

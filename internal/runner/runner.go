@@ -1,0 +1,206 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ncap/internal/cluster"
+)
+
+// Options configures a Pool.
+type Options struct {
+	// Jobs is the number of concurrent simulations; <= 0 selects
+	// runtime.GOMAXPROCS(0). 1 reproduces serial execution exactly.
+	Jobs int
+	// CacheDir enables the content-keyed result cache when non-empty: a
+	// job whose key has a stored result is not run. The directory is
+	// created on first use and is safe to share between processes.
+	CacheDir string
+	// Timeout bounds each job's wall-clock time; 0 means no limit. A
+	// timed-out job yields an Outcome.Err and its worker moves on (the
+	// abandoned simulation goroutine is left to finish and be collected —
+	// the engine has no preemption point to interrupt).
+	Timeout time.Duration
+	// Progress, when non-nil, receives human-readable batch progress
+	// (completed/total, cache hits, ETA). Point it at stderr so sweep
+	// tables on stdout stay byte-identical at any worker count.
+	Progress io.Writer
+}
+
+// Outcome is one job's fate: a result, or an error from a panic or
+// timeout. Err is nil on success.
+type Outcome struct {
+	Job      Job
+	Result   cluster.Result
+	Err      error
+	CacheHit bool
+	Elapsed  time.Duration
+}
+
+// Stats accumulates across every Run on a pool.
+type Stats struct {
+	Jobs      int64 // jobs submitted
+	Ran       int64 // simulations actually executed
+	CacheHits int64
+	Failures  int64 // panics + timeouts
+}
+
+// Pool runs batches of simulation jobs across a bounded set of workers.
+// A Pool is stateless between batches apart from its cache directory and
+// cumulative Stats; it is safe to reuse across many Run calls and from
+// a single goroutine at a time.
+type Pool struct {
+	opts  Options
+	cache *cache
+
+	jobs, ran, hits, fails atomic.Int64
+}
+
+// New creates a pool. An unusable cache directory disables caching and
+// surfaces the error on every Outcome of the first Run — construction
+// itself cannot fail, which keeps CLI wiring simple.
+func New(opts Options) *Pool {
+	if opts.Jobs <= 0 {
+		opts.Jobs = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{opts: opts}
+	if opts.CacheDir != "" {
+		c, err := openCache(opts.CacheDir)
+		if err != nil {
+			// Fall back to uncached execution; the sweep still works.
+			if opts.Progress != nil {
+				fmt.Fprintf(opts.Progress, "runner: %v (caching disabled)\n", err)
+			}
+		} else {
+			p.cache = c
+		}
+	}
+	return p
+}
+
+// Workers returns the effective concurrency.
+func (p *Pool) Workers() int { return p.opts.Jobs }
+
+// Stats returns cumulative counters across all Run calls.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Jobs:      p.jobs.Load(),
+		Ran:       p.ran.Load(),
+		CacheHits: p.hits.Load(),
+		Failures:  p.fails.Load(),
+	}
+}
+
+// Run executes a batch and returns one Outcome per job, in job order —
+// outcomes[i] always belongs to jobs[i], whatever order the workers
+// finished in. Workers pull jobs from a shared queue, so a batch larger
+// than the worker count keeps every worker busy until the queue drains.
+func (p *Pool) Run(jobs []Job) []Outcome {
+	out := make([]Outcome, len(jobs))
+	if len(jobs) == 0 {
+		return out
+	}
+	p.jobs.Add(int64(len(jobs)))
+	prog := newProgress(p.opts.Progress, len(jobs))
+
+	workers := p.opts.Jobs
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = p.runOne(jobs[i])
+				prog.jobDone(out[i].CacheHit)
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// RunOne executes a single job with the pool's isolation and caching.
+func (p *Pool) RunOne(job Job) Outcome {
+	p.jobs.Add(1)
+	return p.runOne(job)
+}
+
+func (p *Pool) runOne(job Job) Outcome {
+	start := time.Now()
+	o := Outcome{Job: job}
+
+	var key string
+	if p.cache != nil && job.Cacheable() {
+		key = job.Key()
+		if res, ok := p.cache.load(key); ok {
+			p.hits.Add(1)
+			o.Result, o.CacheHit, o.Elapsed = res, true, time.Since(start)
+			return o
+		}
+	}
+
+	o.Result, o.Err = p.execute(job)
+	o.Elapsed = time.Since(start)
+	if o.Err != nil {
+		p.fails.Add(1)
+		return o
+	}
+	p.ran.Add(1)
+	if key != "" {
+		if err := p.cache.store(key, job.Tag, job, o.Result); err != nil && p.opts.Progress != nil {
+			fmt.Fprintf(p.opts.Progress, "runner: %v\n", err)
+		}
+	}
+	return o
+}
+
+// jobResult crosses the isolation goroutine boundary. The channel is
+// buffered so an abandoned (timed-out) simulation can still deposit its
+// result and exit instead of leaking forever.
+type jobResult struct {
+	res cluster.Result
+	err error
+}
+
+// execute runs one simulation in its own goroutine so a panic inside the
+// simulator (a pathological configuration tripping an internal invariant)
+// or a hung run cannot take down or stall the whole sweep.
+func (p *Pool) execute(job Job) (cluster.Result, error) {
+	ch := make(chan jobResult, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- jobResult{err: fmt.Errorf("runner: job %q panicked: %v\n%s",
+					job.Tag, r, debug.Stack())}
+			}
+		}()
+		ch <- jobResult{res: cluster.New(job.Config).Run()}
+	}()
+
+	if p.opts.Timeout <= 0 {
+		r := <-ch
+		return r.res, r.err
+	}
+	timer := time.NewTimer(p.opts.Timeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.res, r.err
+	case <-timer.C:
+		return cluster.Result{}, fmt.Errorf("runner: job %q exceeded the %v wall-clock timeout",
+			job.Tag, p.opts.Timeout)
+	}
+}
