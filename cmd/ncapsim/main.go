@@ -14,7 +14,9 @@ import (
 	"time"
 
 	"ncap"
+	"ncap/internal/cluster"
 	"ncap/internal/experiments"
+	"ncap/internal/fault"
 	"ncap/internal/power"
 	"ncap/internal/runner"
 	"ncap/internal/sim"
@@ -33,6 +35,11 @@ func main() {
 		verbose    = flag.Bool("v", false, "print extended counters")
 		cacheDir   = flag.String("cache", "", "result cache directory shared with ncapsweep (empty disables)")
 		timeout    = flag.Duration("timeout", 10*time.Minute, "wall-clock timeout (0 disables)")
+		lossP      = flag.Float64("loss", 0, "Bernoulli frame-loss probability on the server access link (both directions)")
+		corruptP   = flag.Float64("corrupt", 0, "bit-corruption probability on the server access link (FCS drop at the receiver)")
+		dupP       = flag.Float64("dup", 0, "frame duplication probability on the server access link")
+		reorderP   = flag.Float64("reorder", 0, "frame reordering probability on the server access link")
+		reorderMax = flag.Duration("reorder-max", 500*time.Microsecond, "maximum extra delay for reordered frames")
 	)
 	flag.Parse()
 
@@ -69,6 +76,18 @@ func main() {
 	cfg.Measure = sim.Duration(measure.Nanoseconds())
 	cfg.Warmup = sim.Duration(warmup.Nanoseconds())
 	cfg.Seed = *seed
+	if *lossP > 0 || *corruptP > 0 || *dupP > 0 || *reorderP > 0 {
+		cfg.Fault.Links = append(cfg.Fault.Links, fault.LinkFault{
+			Node:       uint32(cluster.ServerAddr),
+			Dir:        fault.Both,
+			Loss:       fault.LossBernoulli,
+			P:          *lossP,
+			CorruptP:   *corruptP,
+			DupP:       *dupP,
+			ReorderP:   *reorderP,
+			ReorderMax: sim.Duration(reorderMax.Nanoseconds()),
+		})
+	}
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "ncapsim:", err)
 		os.Exit(2)
@@ -104,6 +123,12 @@ func main() {
 			res.CResidency[power.C6], res.CEntries[power.C6])
 		fmt.Printf("ncap: boosts=%d stepdowns=%d cit-wakes=%d p-transitions=%d\n",
 			res.Boosts, res.StepDowns, res.CITWakes, res.PStateTransitions)
+		if res.FaultDrops+res.CorruptDrops+res.FaultDups+res.FaultDelays+
+			res.DupSuppressed+res.DupResent > 0 {
+			fmt.Printf("faults: wire-drops=%d fcs-drops=%d dup-frames=%d delayed=%d dup-req-suppressed=%d responses-resent=%d\n",
+				res.FaultDrops, res.CorruptDrops, res.FaultDups, res.FaultDelays,
+				res.DupSuppressed, res.DupResent)
+		}
 		fmt.Printf("simulator: %d events in %v (%.1f Mevents/s)\n",
 			res.Events, wall.Round(time.Millisecond), float64(res.Events)/wall.Seconds()/1e6)
 	}

@@ -10,6 +10,7 @@
 //	ncapsweep -exp fig2                           # ondemand period sweep
 //	ncapsweep -exp headline                       # abstract's claims
 //	ncapsweep -exp ablations -workload apache     # design-choice ablations
+//	ncapsweep -exp e11       -workload apache     # policies on a degraded fabric
 //	ncapsweep -exp all                            # everything
 //
 // -full switches from quick windows to the EXPERIMENTS.md measurement
@@ -38,16 +39,35 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: lvl, policies, fig2, headline, ablations, extensions, all")
+		exp      = flag.String("exp", "all", "experiment: lvl, policies, fig2, headline, ablations, extensions, e11, all")
 		workload = flag.String("workload", "", "restrict to one workload (apache, memcached)")
 		full     = flag.Bool("full", false, "use the full measurement windows")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
-		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulations")
+		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulations (must be positive)")
 		cacheDir = flag.String("cache", "", "result cache directory (empty disables caching)")
-		timeout  = flag.Duration("timeout", 10*time.Minute, "per-simulation wall-clock timeout (0 disables)")
+		timeout  = flag.Duration("timeout", 10*time.Minute, "per-simulation wall-clock timeout (must be positive)")
+		retries  = flag.Int("retries", 1, "re-runs per timed-out/panicked job before it is reported failed")
 		quiet    = flag.Bool("q", false, "suppress progress output on stderr")
 	)
 	flag.Parse()
+
+	// Reject nonsense resource limits up front: a zero or negative -jobs
+	// would silently fall back to GOMAXPROCS, and a zero -timeout would
+	// silently disable the watchdog — both surprising ways to "work".
+	switch {
+	case *jobs <= 0:
+		fmt.Fprintf(os.Stderr, "ncapsweep: -jobs %d: must be positive\n", *jobs)
+		flag.Usage()
+		os.Exit(2)
+	case *timeout <= 0:
+		fmt.Fprintf(os.Stderr, "ncapsweep: -timeout %v: must be positive\n", *timeout)
+		flag.Usage()
+		os.Exit(2)
+	case *retries < 0:
+		fmt.Fprintf(os.Stderr, "ncapsweep: -retries %d: must be non-negative\n", *retries)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	o := experiments.Quick()
 	if *full {
@@ -63,6 +83,7 @@ func main() {
 		Jobs:     *jobs,
 		CacheDir: *cacheDir,
 		Timeout:  *timeout,
+		Retries:  *retries,
 		Progress: progress,
 	})
 	o.Runner = pool
@@ -101,6 +122,10 @@ func main() {
 		for _, prof := range profiles {
 			extensions(o, prof)
 		}
+	case "e11":
+		for _, prof := range profiles {
+			degraded(o, prof)
+		}
 	case "all":
 		fig2(o)
 		for _, prof := range profiles {
@@ -109,6 +134,9 @@ func main() {
 			headline(o, prof)
 			ablations(o, prof)
 			extensions(o, prof)
+		}
+		for _, prof := range profiles {
+			degraded(o, prof)
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "ncapsweep: unknown -exp %q\n", *exp)
@@ -182,6 +210,37 @@ func extensions(o experiments.Options, prof app.Profile) {
 			r.Name, r.Result.Latency.P95.Millis(), r.Result.EnergyJ)
 	}
 	fmt.Println()
+}
+
+func degraded(o experiments.Options, prof app.Profile) {
+	fmt.Printf("# E11 — %s under degraded network (medium load; flapping client-1 downlink, slow client 2, server-link loss sweep)\n", prof.Name)
+	fmt.Printf("%-10s %6s %9s %9s %9s %8s %8s %8s %8s\n",
+		"policy", "loss%", "p95(ms)", "p99(ms)", "energy(J)", "retrans", "abandon", "lost", "resent")
+	for _, r := range experiments.DegradedNetwork(o, prof, cluster.MediumLoad) {
+		if r.Err != "" {
+			// A failed cell is a row, not an abort: the sweep completes
+			// and the process exit code reports the failure count.
+			fmt.Printf("%-10s %6.1f FAILED (%d attempts): %s\n",
+				r.Policy, r.LossPct, r.Attempts, firstLine(r.Err))
+			continue
+		}
+		res := r.Result
+		fmt.Printf("%-10s %6.1f %9.3f %9.3f %9.2f %8d %8d %8d %8d\n",
+			r.Policy, r.LossPct, res.Latency.P95.Millis(), res.Latency.P99.Millis(),
+			res.EnergyJ, res.Retransmits, res.Abandoned,
+			res.FaultDrops+res.CorruptDrops, res.DupResent)
+	}
+	fmt.Println()
+}
+
+// firstLine trims a multi-line error (panic stacks) for table output.
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
 }
 
 func ablations(o experiments.Options, prof app.Profile) {

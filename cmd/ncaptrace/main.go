@@ -18,6 +18,7 @@ import (
 	"ncap"
 	"ncap/internal/cluster"
 	"ncap/internal/experiments"
+	"ncap/internal/fault"
 	"ncap/internal/runner"
 	"ncap/internal/sim"
 )
@@ -33,6 +34,7 @@ func main() {
 		out        = flag.String("out", "", "output file prefix (default: stdout)")
 		seed       = flag.Uint64("seed", 1, "simulation seed")
 		jobsN      = flag.Int("jobs", 2, "concurrent simulations (the -snapshot pair parallelizes)")
+		lossP      = flag.Float64("loss", 0, "Bernoulli frame-loss probability on the server access link — trace NCAP's behavior on a lossy fabric")
 	)
 	flag.Parse()
 
@@ -63,8 +65,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var mutate []func(*cluster.Config)
+	if *lossP > 0 {
+		mutate = append(mutate, func(c *cluster.Config) {
+			c.Fault.Links = append(c.Fault.Links, fault.LinkFault{
+				Node: uint32(cluster.ServerAddr),
+				Dir:  fault.Both,
+				Loss: fault.LossBernoulli,
+				P:    *lossP,
+			})
+		})
+	}
 	tr := experiments.Trace(o, policy, prof, cluster.LoadRPS(prof.Name, lvl),
-		sim.Duration(interval.Nanoseconds()))
+		sim.Duration(interval.Nanoseconds()), mutate...)
 	writeTrace(tr, fileOrStdout(*out, string(policy)))
 }
 

@@ -22,6 +22,13 @@ type ClientConfig struct {
 	RTO sim.Duration
 	// MaxRetries bounds retransmissions per request.
 	MaxRetries int
+	// Backoff doubles the RTO on every retransmission of a request
+	// (TCP-style exponential backoff, capped at BackoffCap). Off by
+	// default: the fault-free experiments predate it and their recorded
+	// results rely on the fixed-RTO schedule.
+	Backoff bool
+	// BackoffCap bounds the backed-off RTO; zero means 8×RTO.
+	BackoffCap sim.Duration
 }
 
 // DefaultClientConfig returns a burst client shaped like the paper's:
@@ -71,6 +78,9 @@ type Client struct {
 	Completed   stats.Counter
 	Retransmits stats.Counter
 	Abandoned   stats.Counter
+	// CorruptDrops counts response frames the client NIC's FCS check
+	// discarded (fault injection); the request recovers via RTO.
+	CorruptDrops stats.Counter
 }
 
 // NewClient builds a client. uplink must lead to the switch; payload is
@@ -117,6 +127,7 @@ func (c *Client) BeginMeasurement() {
 	c.Completed.Reset()
 	c.Retransmits.Reset()
 	c.Abandoned.Reset()
+	c.CorruptDrops.Reset()
 }
 
 func (c *Client) burst() {
@@ -152,7 +163,27 @@ func (c *Client) transmit(id uint64, pr *pendingReq) {
 	if pr.timer == nil {
 		pr.timer = sim.NewTimer(c.eng, func() { c.timeout(id) })
 	}
-	pr.timer.Arm(c.cfg.RTO)
+	pr.timer.Arm(c.rto(pr.retries))
+}
+
+// rto returns the retransmission timeout for the given retry count:
+// fixed by default, doubling per retry up to BackoffCap with Backoff set.
+func (c *Client) rto(retries int) sim.Duration {
+	if !c.cfg.Backoff || retries <= 0 {
+		return c.cfg.RTO
+	}
+	limit := c.cfg.BackoffCap
+	if limit <= 0 {
+		limit = 8 * c.cfg.RTO
+	}
+	rto := c.cfg.RTO
+	for i := 0; i < retries && rto < limit; i++ {
+		rto *= 2
+	}
+	if rto > limit {
+		rto = limit
+	}
+	return rto
 }
 
 func (c *Client) timeout(id uint64) {
@@ -174,8 +205,14 @@ func (c *Client) timeout(id uint64) {
 	c.transmit(id, pr)
 }
 
-// Receive implements netsim.Receiver for response segments.
+// Receive implements netsim.Receiver for response segments. Corrupt
+// frames fail the client NIC's FCS check and are dropped; the RTO path
+// recovers the request.
 func (c *Client) Receive(p *netsim.Packet) {
+	if p.Corrupt {
+		c.CorruptDrops.Inc()
+		return
+	}
 	if p.Kind != netsim.KindResponse {
 		return
 	}

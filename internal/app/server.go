@@ -31,13 +31,34 @@ type Server struct {
 	// least-loaded core.
 	Affine bool
 
+	// Dedup enables transport-level duplicate suppression: a duplicate
+	// of a request still being served is absorbed (its response is
+	// already on the way), and a duplicate of a recently served request
+	// retransmits the stored response without re-running the application
+	// work — TCP's retransmission semantics, needed once the fabric can
+	// lose, duplicate, or delay frames. Off by default so the fault-free
+	// experiments replay bit-identically.
+	Dedup bool
+
+	dupInflight map[uint64]bool // requests currently being served
+	dupServed   map[uint64]int  // recently served request → response bytes
+	dupOrder    []uint64        // FIFO eviction ring over dupServed
+
 	// Served counts completed requests; Ignored counts non-request
 	// packets reaching the socket layer; DiskReads counts cache misses.
 	Served    stats.Counter
 	Ignored   stats.Counter
 	DiskReads stats.Counter
-	Inflight  int
+	// DupSuppressed counts duplicates absorbed while the original was in
+	// flight; DupResent counts stored responses retransmitted.
+	DupSuppressed stats.Counter
+	DupResent     stats.Counter
+	Inflight      int
 }
+
+// dedupWindow bounds the served-request memory. At the paper's highest
+// load (138 K RPS) it covers ~60 ms of history — several RTOs deep.
+const dedupWindow = 8192
 
 // NewServer assembles the application. rng must be a dedicated stream.
 func NewServer(k *oskernel.Kernel, drv *driver.Driver, profile Profile, rng *sim.Rand, addr netsim.Addr) *Server {
@@ -67,6 +88,9 @@ func (s *Server) HandleDelivered(p *netsim.Packet, pollCore int) {
 		s.Ignored.Inc()
 		return
 	}
+	if s.Dedup && s.absorbDuplicate(p, pollCore) {
+		return
+	}
 	s.Inflight++
 	cycles := s.profile.ParseCycles + s.serviceCycles()
 	resume := func(coreID int) {
@@ -89,8 +113,61 @@ func (s *Server) HandleDelivered(p *netsim.Packet, pollCore int) {
 func (s *Server) finish(req *netsim.Packet, coreID int) {
 	s.Inflight--
 	s.Served.Inc()
-	segs := netsim.SegmentResponse(s.addr, req.Src, req.ReqID, s.responseBytes())
+	body := s.responseBytes()
+	if s.Dedup {
+		s.rememberServed(req.ReqID, body)
+	}
+	segs := netsim.SegmentResponse(s.addr, req.Src, req.ReqID, body)
 	s.drv.Send(coreID, segs)
+}
+
+// absorbDuplicate handles a retransmitted request. A duplicate of an
+// in-flight request is dropped (the response is coming); a duplicate of
+// a recently served one retransmits the stored response, charging only
+// the parse cost — no application re-execution, no fresh randomness, so
+// the response body is byte-for-byte the one the client lost.
+func (s *Server) absorbDuplicate(p *netsim.Packet, pollCore int) bool {
+	if s.dupInflight == nil {
+		s.dupInflight = map[uint64]bool{}
+		s.dupServed = map[uint64]int{}
+	}
+	if s.dupInflight[p.ReqID] {
+		s.DupSuppressed.Inc()
+		return true
+	}
+	if body, ok := s.dupServed[p.ReqID]; ok {
+		s.DupResent.Inc()
+		resend := func(coreID int) {
+			segs := netsim.SegmentResponse(s.addr, p.Src, p.ReqID, body)
+			s.drv.Send(coreID, segs)
+		}
+		if s.Affine {
+			s.k.SubmitTaskOn(pollCore, s.profile.Name, s.profile.ParseCycles,
+				func() { resend(pollCore) })
+			return true
+		}
+		var coreID int
+		core := s.k.SubmitTask(s.profile.Name, s.profile.ParseCycles, func() { resend(coreID) })
+		coreID = core.ID()
+		return true
+	}
+	s.dupInflight[p.ReqID] = true
+	return false
+}
+
+// rememberServed moves a request from in-flight to the bounded
+// served-response memory, evicting the oldest entry past dedupWindow.
+func (s *Server) rememberServed(reqID uint64, body int) {
+	delete(s.dupInflight, reqID)
+	if _, dup := s.dupServed[reqID]; !dup {
+		s.dupOrder = append(s.dupOrder, reqID)
+	}
+	s.dupServed[reqID] = body
+	if len(s.dupOrder) > dedupWindow {
+		evict := s.dupOrder[0]
+		s.dupOrder = s.dupOrder[1:]
+		delete(s.dupServed, evict)
+	}
 }
 
 // ResetStats zeroes request accounting at the warmup boundary.
@@ -98,6 +175,8 @@ func (s *Server) ResetStats() {
 	s.Served.Reset()
 	s.Ignored.Reset()
 	s.DiskReads.Reset()
+	s.DupSuppressed.Reset()
+	s.DupResent.Reset()
 }
 
 func (s *Server) serviceCycles() int64 {

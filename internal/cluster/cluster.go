@@ -5,6 +5,7 @@ import (
 	"ncap/internal/core"
 	"ncap/internal/cpu"
 	"ncap/internal/driver"
+	"ncap/internal/fault"
 	"ncap/internal/governor"
 	"ncap/internal/netsim"
 	"ncap/internal/nic"
@@ -21,12 +22,20 @@ const (
 	bulkAddr        netsim.Addr = 99
 )
 
+// ClientAddr returns the network address of client i (0-based). Fault
+// specs target nodes by address; this keeps the numbering in one place.
+func ClientAddr(i int) netsim.Addr { return firstClientAddr + netsim.Addr(i) }
+
 // Cluster is an assembled experiment: one fully modeled server node and
 // open-loop client nodes behind a store-and-forward switch.
 type Cluster struct {
 	cfg Config
 	eng *sim.Engine
 	sw  *netsim.Switch
+
+	// faultLinks are every link an injector may be attached to; their
+	// fault counters aggregate into the Result.
+	faultLinks []*netsim.Link
 
 	Chip    *cpu.Chip
 	Kernel  *oskernel.Kernel
@@ -80,15 +89,26 @@ func New(cfg Config) *Cluster {
 	}
 	c.Kernel = oskernel.New(c.Chip)
 
-	// Network fabric and server NIC.
+	// Network fabric and server NIC. Fault injectors (perfect fabric:
+	// none) attach per unidirectional link, each with its own random
+	// stream keyed by seed and link name so draws stay independent.
 	c.sw = netsim.NewSwitch(eng, 500*sim.Nanosecond)
+	faultsOn := cfg.Fault.Enabled()
+	faulted := func(l *netsim.Link, node netsim.Addr, dir fault.Direction) *netsim.Link {
+		c.faultLinks = append(c.faultLinks, l)
+		if faultsOn {
+			model := cfg.Fault.Resolve(uint32(node), dir)
+			l.SetInjector(fault.NewInjector(model, cfg.Seed, dir.String()+"/"+node.String()))
+		}
+		return l
+	}
 	nicCfg := cfg.NIC
 	if cfg.Queues > 1 {
 		nicCfg.Queues = cfg.Queues
 	}
 	c.NIC = nic.New(eng, ServerAddr, nicCfg)
-	c.NIC.SetLink(netsim.NewLink(eng, cfg.Link, c.sw))
-	c.sw.Attach(ServerAddr, cfg.Link, c.NIC)
+	c.NIC.SetLink(faulted(netsim.NewLink(eng, cfg.Link, c.sw), ServerAddr, fault.FromNode))
+	faulted(c.sw.Attach(ServerAddr, cfg.Link, c.NIC), ServerAddr, fault.ToNode)
 
 	// Governors.
 	if cfg.Policy.UsesOndemand() {
@@ -116,6 +136,9 @@ func New(cfg Config) *Cluster {
 	server = app.NewServer(c.Kernel, c.Driver, cfg.Workload,
 		sim.NewRand(cfg.Seed, "server"), ServerAddr)
 	server.Affine = cfg.Queues > 1
+	// A lossy fabric needs TCP's retransmission semantics on the server
+	// side too: absorb duplicate requests, retransmit stored responses.
+	server.Dedup = faultsOn
 	c.Server = server
 
 	// NCAP embodiments. Template programming models the driver-init
@@ -157,17 +180,23 @@ func New(cfg Config) *Cluster {
 			ccfg.Spacing = cfg.Workload.RequestSpacing
 		}
 		ccfg.StartOffset = period * sim.Duration(i) / sim.Duration(cfg.Clients)
+		// Under an imperfect fabric the client's RTO backs off
+		// exponentially, as TCP's would, so a crashed or flapping path
+		// is not hammered at a fixed cadence.
+		ccfg.Backoff = faultsOn
 		cl := app.NewClient(eng, addr, ServerAddr,
-			netsim.NewLink(eng, cfg.Link, c.sw), payload, ccfg,
+			faulted(netsim.NewLink(eng, cfg.Link, c.sw), addr, fault.FromNode),
+			payload, ccfg,
 			sim.NewRand(cfg.Seed, "client"+string(rune('0'+i))))
-		c.sw.Attach(addr, cfg.Link, cl)
+		faulted(c.sw.Attach(addr, cfg.Link, cl), addr, fault.ToNode)
 		c.Clients = append(c.Clients, cl)
 	}
 
 	// Optional background bulk traffic.
 	if cfg.BulkBps > 0 {
 		c.Bulk = app.NewBulkSender(eng, bulkAddr, ServerAddr,
-			netsim.NewLink(eng, cfg.Link, c.sw), cfg.BulkBps, 1400)
+			faulted(netsim.NewLink(eng, cfg.Link, c.sw), bulkAddr, fault.FromNode),
+			cfg.BulkBps, 1400)
 	}
 
 	// Optional tracing.

@@ -6,6 +6,7 @@ import (
 	"ncap/internal/app"
 	"ncap/internal/core"
 	"ncap/internal/driver"
+	"ncap/internal/fault"
 	"ncap/internal/netsim"
 	"ncap/internal/nic"
 	"ncap/internal/sim"
@@ -59,6 +60,14 @@ type Config struct {
 	// stack costs halve and NCAP's rate thresholds scale up to match the
 	// higher sustainable packet rate.
 	TOE bool
+	// Fault degrades the fabric: per-link loss/corruption/reordering/
+	// duplication/flaps and per-node slowdown/crash windows (see
+	// internal/fault). The zero value is the perfect network the paper
+	// evaluates on; any active fault also switches the transport to its
+	// loss-recovery mode (client exponential backoff, server duplicate
+	// suppression). Part of the config, so it participates in the
+	// runner's content-keyed cache identity.
+	Fault fault.Spec
 }
 
 // DefaultBurstSize returns the per-client burst size that keeps the burst
@@ -117,6 +126,9 @@ func (c Config) Validate() error {
 		// with a shared chip-wide frequency, an idle queue's IT_LOW
 		// interrupts would fight the busy queues' boosts.
 		return fmt.Errorf("cluster: multi-queue NCAP requires PerCoreDVFS")
+	}
+	if err := c.Fault.Validate(); err != nil {
+		return err
 	}
 	return c.ncapConfig().Validate()
 }

@@ -34,6 +34,19 @@ type Result struct {
 	RxDrops int64
 	IRQs    int64
 
+	// Fault-injection accounting (all zero on a perfect fabric):
+	// FaultDrops are frames lost on the medium (loss process, flap or
+	// crash windows); CorruptDrops frames discarded by a receiver's FCS
+	// check; FaultDups injected duplicate deliveries; FaultDelays frames
+	// held back (reordering or slow-node delay); DupSuppressed and
+	// DupResent the server transport's duplicate-request handling.
+	FaultDrops    int64 `json:",omitempty"`
+	CorruptDrops  int64 `json:",omitempty"`
+	FaultDups     int64 `json:",omitempty"`
+	FaultDelays   int64 `json:",omitempty"`
+	DupSuppressed int64 `json:",omitempty"`
+	DupResent     int64 `json:",omitempty"`
+
 	// CResidency is total core-time per C-state; CEntries the entry
 	// counts (short entries are the Sec. 3 inefficiency signal).
 	CResidency map[power.CState]sim.Duration
@@ -75,6 +88,12 @@ func (c *Cluster) Run() Result {
 	c.NIC.ResetStats()
 	c.Driver.ResetStats()
 	c.Server.ResetStats()
+	for _, l := range c.faultLinks {
+		l.FaultDrops.Reset()
+		l.FaultCorrupts.Reset()
+		l.FaultDups.Reset()
+		l.FaultDelays.Reset()
+	}
 	for _, cl := range c.Clients {
 		cl.BeginMeasurement()
 	}
@@ -150,6 +169,9 @@ func (c *Cluster) collect(energyJ float64) Result {
 		Retransmits: retrans, Abandoned: abandoned,
 		RxDrops:           c.NIC.RxDrops.Value(),
 		IRQs:              c.NIC.IRQs.Value(),
+		CorruptDrops:      c.NIC.RxCorruptDrops.Value(),
+		DupSuppressed:     c.Server.DupSuppressed.Value(),
+		DupResent:         c.Server.DupResent.Value(),
 		CResidency:        map[power.CState]sim.Duration{},
 		CEntries:          map[power.CState]int{},
 		Boosts:            c.Driver.Boosts.Value(),
@@ -163,6 +185,14 @@ func (c *Cluster) collect(energyJ float64) Result {
 			res.CResidency[s] += core.CTime(s)
 			res.CEntries[s] += core.CEntries(s)
 		}
+	}
+	for _, cl := range c.Clients {
+		res.CorruptDrops += cl.CorruptDrops.Value()
+	}
+	for _, l := range c.faultLinks {
+		res.FaultDrops += l.FaultDrops.Value()
+		res.FaultDups += l.FaultDups.Value()
+		res.FaultDelays += l.FaultDelays.Value()
 	}
 	if c.NIC.NCAPEnabled() {
 		for _, q := range c.NIC.Queues() {

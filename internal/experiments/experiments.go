@@ -75,25 +75,12 @@ func configFor(o Options, policy cluster.Policy, prof app.Profile, load float64,
 
 // runBatch executes a slice of experiment configurations — through the
 // attached runner pool when one is set, serially otherwise — and returns
-// results in input order. A failed job (panic or timeout inside the pool)
-// is reported to stderr and yields a zero Result so the rest of the sweep
-// still completes.
+// results in input order. A failed job (panic or timeout) is reported to
+// stderr and yields a zero Result so the rest of the sweep still
+// completes; callers needing the per-job error use runBatchOutcomes.
 func runBatch(o Options, exp string, cfgs []cluster.Config) []cluster.Result {
 	out := make([]cluster.Result, len(cfgs))
-	if o.Runner == nil {
-		for i, cfg := range cfgs {
-			out[i] = cluster.New(cfg).Run()
-		}
-		return out
-	}
-	jobs := make([]runner.Job, len(cfgs))
-	for i, cfg := range cfgs {
-		jobs[i] = runner.Job{
-			Tag:    fmt.Sprintf("%s/%s/%s/%.0frps", exp, cfg.Workload.Name, cfg.Policy, cfg.LoadRPS),
-			Config: cfg,
-		}
-	}
-	for i, oc := range o.Runner.Run(jobs) {
+	for i, oc := range runBatchOutcomes(o, exp, cfgs) {
 		if oc.Err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v (zero result substituted)\n", oc.Err)
 			continue
@@ -204,10 +191,16 @@ type TraceResult struct {
 
 // Trace runs one policy at the given load with time-series sampling at
 // interval and returns the result (Result.Sampler holds the series).
+// Extra mutators (a fault spec, say) apply after the interval is set.
 // Trace-sampling runs bypass the result cache: their value is the live
 // time series, which the cache does not serialize.
-func Trace(o Options, policy cluster.Policy, prof app.Profile, load float64, interval sim.Duration) TraceResult {
-	res := run(o, policy, prof, load, func(c *cluster.Config) { c.TraceInterval = interval })
+func Trace(o Options, policy cluster.Policy, prof app.Profile, load float64, interval sim.Duration, mutate ...func(*cluster.Config)) TraceResult {
+	res := run(o, policy, prof, load, func(c *cluster.Config) {
+		c.TraceInterval = interval
+		for _, m := range mutate {
+			m(c)
+		}
+	})
 	return TraceResult{Policy: policy, Result: res}
 }
 

@@ -1,8 +1,8 @@
 package netsim
 
 import (
+	"ncap/internal/fault"
 	"ncap/internal/sim"
-
 	"ncap/internal/stats"
 )
 
@@ -29,6 +29,7 @@ type Link struct {
 	eng     *sim.Engine
 	cfg     LinkConfig
 	dst     Receiver
+	inj     *fault.Injector
 	busyTil sim.Time
 	queued  int // bytes committed to the egress buffer but not yet on the wire
 
@@ -36,6 +37,14 @@ type Link struct {
 	// counts frames lost to a full egress buffer.
 	Bytes stats.Counter
 	Drops stats.Counter
+
+	// Fault-injection accounting: frames lost on the medium (loss
+	// process, flap or crash windows), delivered with flipped bits,
+	// delivered twice, or delayed past a later frame.
+	FaultDrops    stats.Counter
+	FaultCorrupts stats.Counter
+	FaultDups     stats.Counter
+	FaultDelays   stats.Counter
 }
 
 // NewLink connects a new link to the destination receiver.
@@ -48,6 +57,14 @@ func NewLink(eng *sim.Engine, cfg LinkConfig, dst Receiver) *Link {
 	}
 	return &Link{eng: eng, cfg: cfg, dst: dst}
 }
+
+// SetInjector attaches a fault injector to the link; nil detaches it.
+// Every frame that wins an egress-buffer slot is then judged once, in
+// serialization order, before its delivery is scheduled.
+func (l *Link) SetInjector(inj *fault.Injector) { l.inj = inj }
+
+// Injector returns the attached fault injector (nil on a perfect link).
+func (l *Link) Injector() *fault.Injector { return l.inj }
 
 // Send enqueues a frame for transmission. It returns false if the egress
 // buffer is full and the frame was dropped.
@@ -66,7 +83,46 @@ func (l *Link) Send(p *Packet) bool {
 	arrival := l.busyTil + l.cfg.Latency
 	l.Bytes.Add(int64(p.WireSize()))
 	l.eng.At(l.busyTil, func() { l.queued -= p.WireSize() })
+	if l.inj != nil {
+		if !l.sendFaulty(p, arrival) {
+			return true // serialized, then lost on the medium
+		}
+	} else {
+		l.eng.At(arrival, func() { l.dst.Receive(p) })
+	}
+	return true
+}
+
+// sendFaulty schedules delivery under the attached injector's verdict.
+// It reports false when the frame was lost on the medium — the sender
+// still spent the serialization time and counts the bytes as
+// transmitted, exactly as with a physical-layer loss.
+func (l *Link) sendFaulty(p *Packet, arrival sim.Time) bool {
+	act := l.inj.Judge(l.eng.Now())
+	if act.Drop {
+		l.FaultDrops.Inc()
+		return false
+	}
+	if act.Corrupt {
+		// Flip bits in the frame copy on the wire: the payload pointer is
+		// shared with any duplicate, but Corrupt marks this *Packet for
+		// the whole rest of its path, which matches a frame corrupted on
+		// its first hop failing FCS at every store-and-forward check.
+		p.Corrupt = true
+		l.FaultCorrupts.Inc()
+	}
+	if act.ExtraDelay > 0 {
+		l.FaultDelays.Inc()
+		arrival += act.ExtraDelay
+	}
 	l.eng.At(arrival, func() { l.dst.Receive(p) })
+	if act.Duplicate {
+		l.FaultDups.Inc()
+		// The duplicate is its own frame instance trailing the original
+		// by one serialization slot (a retransmitting middlebox).
+		dup := *p
+		l.eng.At(arrival+l.serialization(p.WireSize()), func() { l.dst.Receive(&dup) })
+	}
 	return true
 }
 

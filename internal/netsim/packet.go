@@ -73,6 +73,10 @@ type Packet struct {
 	Seg, SegCount int
 	// SentAt is stamped when the packet enters the sender's NIC tx path.
 	SentAt sim.Time
+	// Corrupt marks a frame whose bits were flipped in transit (fault
+	// injection). The receiving NIC's FCS check detects it and drops the
+	// frame instead of delivering garbage upward.
+	Corrupt bool
 }
 
 // WireSize returns the frame's size on the wire, headers included.

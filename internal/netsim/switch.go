@@ -37,6 +37,10 @@ func (s *Switch) Attach(addr Addr, cfg LinkConfig, node Receiver) *Link {
 	return l
 }
 
+// Port returns the egress link toward addr (nil if not attached). Fault
+// injectors for the switch→node direction attach here.
+func (s *Switch) Port(addr Addr) *Link { return s.ports[addr] }
+
 // Receive implements Receiver: frames entering the switch are forwarded to
 // the egress port for their destination after the forwarding delay.
 func (s *Switch) Receive(p *Packet) {

@@ -99,6 +99,10 @@ type NIC struct {
 	RxDrops   stats.Counter
 	TxDrops   stats.Counter
 	IRQs      stats.Counter
+	// RxCorruptDrops counts frames failing the MAC's FCS check — bits
+	// flipped in transit (fault injection) are detected by the Ethernet
+	// CRC and the frame is discarded before DMA, as on real hardware.
+	RxCorruptDrops stats.Counter
 }
 
 // Queue is one receive queue: a descriptor ring, moderation timers, an
@@ -168,7 +172,14 @@ func (n *NIC) steer(peer netsim.Addr) *Queue {
 }
 
 // Receive implements netsim.Receiver: a frame has arrived on the wire.
+// Frames failing the FCS check are dropped at the MAC — before NCAP
+// inspection and before DMA, so a corrupted latency-critical request can
+// neither wake the processor nor reach the application.
 func (n *NIC) Receive(p *netsim.Packet) {
+	if p.Corrupt {
+		n.RxCorruptDrops.Inc()
+		return
+	}
 	n.RxBytes.Add(int64(p.WireSize()))
 	n.RxPackets.Inc()
 	n.steer(p.Src).receive(p)
@@ -206,6 +217,7 @@ func (n *NIC) ResetStats() {
 	n.RxDrops.Reset()
 	n.TxDrops.Reset()
 	n.IRQs.Reset()
+	n.RxCorruptDrops.Reset()
 	for _, q := range n.queues {
 		if q.dec != nil {
 			q.dec.ResetStats()

@@ -1,0 +1,132 @@
+package runner
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ncap/internal/app"
+	"ncap/internal/cluster"
+	"ncap/internal/fault"
+)
+
+// TestFaultSpecInJobKey: two configs differing only in their fault spec
+// are different experiments — they must never share a cache entry.
+func TestFaultSpecInJobKey(t *testing.T) {
+	clean := Job{Config: tinyCfg(cluster.Perf, app.ApacheProfile(), 24_000)}
+	faulty := clean
+	faulty.Config.Fault.Links = []fault.LinkFault{{
+		Node: uint32(cluster.ServerAddr), Dir: fault.Both,
+		Loss: fault.LossBernoulli, P: 0.01,
+	}}
+	if clean.Key() == faulty.Key() {
+		t.Fatal("fault spec did not change the cache key")
+	}
+	// Tweaking a nested fault parameter changes it again.
+	worse := faulty
+	worse.Config.Fault.Links = []fault.LinkFault{{
+		Node: uint32(cluster.ServerAddr), Dir: fault.Both,
+		Loss: fault.LossBernoulli, P: 0.02,
+	}}
+	if faulty.Key() == worse.Key() {
+		t.Fatal("loss-rate change did not change the cache key")
+	}
+}
+
+// corruptEntry rewrites job's cache file through mangle and asserts the
+// next run degrades to a clean miss (re-execute), never an error.
+func corruptEntry(t *testing.T, mangle func([]byte) []byte) {
+	t.Helper()
+	dir := t.TempDir()
+	job := Job{Tag: "t", Config: tinyCfg(cluster.Perf, app.MemcachedProfile(), 35_000)}
+	if o := New(Options{CacheDir: dir}).RunOne(job); o.Err != nil {
+		t.Fatal(o.Err)
+	}
+	path := filepath.Join(dir, job.Key()+".json")
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, mangle(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := New(Options{CacheDir: dir}).RunOne(job)
+	if o.Err != nil {
+		t.Fatalf("bad cache entry escalated to an error: %v", o.Err)
+	}
+	if o.CacheHit {
+		t.Fatal("bad cache entry served as a hit")
+	}
+	if o.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (a real re-run)", o.Attempts)
+	}
+	// The re-run repaired the entry: the next round hits again.
+	if o := New(Options{CacheDir: dir}).RunOne(job); !o.CacheHit || o.Attempts != 0 {
+		t.Fatalf("repaired entry missed: hit=%v attempts=%d", o.CacheHit, o.Attempts)
+	}
+}
+
+func TestCacheRejectsTruncatedEntry(t *testing.T) {
+	corruptEntry(t, func(b []byte) []byte { return b[:len(b)/2] })
+}
+
+func TestCacheRejectsWrongSchemaVersion(t *testing.T) {
+	corruptEntry(t, func(b []byte) []byte {
+		// A v1-era entry: valid JSON, stale schema tag.
+		out := strings.Replace(string(b), schemaVersion, "ncap-runner-v1", 1)
+		if out == string(b) {
+			t.Fatal("entry does not embed the schema version")
+		}
+		return []byte(out)
+	})
+}
+
+func TestRetriesExhaustedReportAttempts(t *testing.T) {
+	bad := Job{Tag: "bad", Config: tinyCfg(cluster.Perf, app.MemcachedProfile(), 35_000)}
+	bad.Config.LoadRPS = -1 // cluster.New panics on an invalid config
+	pool := New(Options{Jobs: 1, Retries: 2, RetryBackoff: time.Microsecond})
+	o := pool.RunOne(bad)
+	if o.Err == nil {
+		t.Fatal("deterministically-broken job eventually succeeded")
+	}
+	if o.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3 (1 + 2 retries)", o.Attempts)
+	}
+	st := pool.Stats()
+	if st.Retries != 2 || st.Failures != 1 {
+		t.Fatalf("stats = %+v, want 2 retries / 1 failure", st)
+	}
+}
+
+func TestZeroRetriesSingleAttempt(t *testing.T) {
+	good := Job{Tag: "good", Config: tinyCfg(cluster.Perf, app.MemcachedProfile(), 35_000)}
+	pool := New(Options{Jobs: 1})
+	if o := pool.RunOne(good); o.Err != nil || o.Attempts != 1 {
+		t.Fatalf("outcome = err %v attempts %d, want clean single attempt", o.Err, o.Attempts)
+	}
+	if st := pool.Stats(); st.Retries != 0 {
+		t.Fatalf("retries = %d on a healthy job", st.Retries)
+	}
+}
+
+// TestFailureRowsDoNotAbortBatch: the partial-results contract — failed
+// cells surface as per-job errors while the rest of the batch completes.
+func TestFailureRowsDoNotAbortBatch(t *testing.T) {
+	good := Job{Tag: "good", Config: tinyCfg(cluster.Perf, app.MemcachedProfile(), 35_000)}
+	bad := good
+	bad.Tag = "bad"
+	bad.Config.LoadRPS = -1
+	out := New(Options{Jobs: 2, Retries: 1, RetryBackoff: time.Microsecond}).
+		Run([]Job{good, bad, good})
+	if out[0].Err != nil || out[2].Err != nil {
+		t.Fatalf("healthy jobs failed: %v / %v", out[0].Err, out[2].Err)
+	}
+	if out[1].Err == nil || out[1].Attempts != 2 {
+		t.Fatalf("broken job: err=%v attempts=%d, want failure after retry", out[1].Err, out[1].Attempts)
+	}
+	if out[0].Result.Completed == 0 || out[2].Result.Completed == 0 {
+		t.Fatal("healthy jobs produced no traffic")
+	}
+}

@@ -23,7 +23,11 @@ import (
 // of cluster.Config or cluster.Result changes in a way serialized JSON
 // cannot express (new semantics behind an old field, changed defaults
 // applied after hashing) so stale cache entries are never replayed.
-const schemaVersion = "ncap-runner-v1"
+//
+// v2: cluster.Config gained the fault-injection spec (Config.Fault) and
+// cluster.Result the fault/duplicate accounting; entries written by v1
+// predate both and must re-run.
+const schemaVersion = "ncap-runner-v2"
 
 // Job is one simulation to run: a fully resolved experiment configuration
 // plus a human-readable tag for progress and error reporting. The tag is

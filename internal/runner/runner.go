@@ -30,16 +30,33 @@ type Options struct {
 	// (completed/total, cache hits, ETA). Point it at stderr so sweep
 	// tables on stdout stay byte-identical at any worker count.
 	Progress io.Writer
+	// Retries re-runs a job that timed out or panicked up to this many
+	// additional times, with exponential host-clock backoff between
+	// attempts, before its Outcome carries the error. The simulation is
+	// deterministic, so a panic generally repeats — but a timeout under
+	// transient host load often clears, and retrying is cheap relative
+	// to losing a sweep row.
+	Retries int
+	// RetryBackoff is the delay before the first retry (doubling per
+	// attempt); zero selects 100 ms.
+	RetryBackoff time.Duration
 }
 
+// defaultRetryBackoff is the first-retry delay when none is configured.
+const defaultRetryBackoff = 100 * time.Millisecond
+
 // Outcome is one job's fate: a result, or an error from a panic or
-// timeout. Err is nil on success.
+// timeout. Err is nil on success. A failed Outcome is a reportable row,
+// not an abort: the rest of the batch still runs to completion.
 type Outcome struct {
 	Job      Job
 	Result   cluster.Result
 	Err      error
 	CacheHit bool
 	Elapsed  time.Duration
+	// Attempts is how many times the job executed (1 + retries used).
+	// Zero for cache hits.
+	Attempts int
 }
 
 // Stats accumulates across every Run on a pool.
@@ -47,7 +64,8 @@ type Stats struct {
 	Jobs      int64 // jobs submitted
 	Ran       int64 // simulations actually executed
 	CacheHits int64
-	Failures  int64 // panics + timeouts
+	Retries   int64 // re-executions after a timeout or panic
+	Failures  int64 // jobs that still failed after every retry
 }
 
 // Pool runs batches of simulation jobs across a bounded set of workers.
@@ -58,7 +76,7 @@ type Pool struct {
 	opts  Options
 	cache *cache
 
-	jobs, ran, hits, fails atomic.Int64
+	jobs, ran, hits, retries, fails atomic.Int64
 }
 
 // New creates a pool. An unusable cache directory disables caching and
@@ -92,6 +110,7 @@ func (p *Pool) Stats() Stats {
 		Jobs:      p.jobs.Load(),
 		Ran:       p.ran.Load(),
 		CacheHits: p.hits.Load(),
+		Retries:   p.retries.Load(),
 		Failures:  p.fails.Load(),
 	}
 }
@@ -152,7 +171,27 @@ func (p *Pool) runOne(job Job) Outcome {
 		}
 	}
 
-	o.Result, o.Err = p.execute(job)
+	backoff := p.opts.RetryBackoff
+	if backoff <= 0 {
+		backoff = defaultRetryBackoff
+	}
+	for attempt := 0; ; attempt++ {
+		o.Attempts = attempt + 1
+		o.Result, o.Err = p.execute(job)
+		if o.Err == nil || attempt >= p.opts.Retries {
+			break
+		}
+		// Bounded retry with exponential backoff: transient host
+		// conditions (a timeout under load) get a second chance without
+		// hammering a deterministically failing job forever.
+		p.retries.Add(1)
+		if p.opts.Progress != nil {
+			fmt.Fprintf(p.opts.Progress, "runner: job %q attempt %d/%d failed, retrying in %v: %v\n",
+				job.Tag, attempt+1, p.opts.Retries+1, backoff, o.Err)
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
 	o.Elapsed = time.Since(start)
 	if o.Err != nil {
 		p.fails.Add(1)
