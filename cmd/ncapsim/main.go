@@ -5,6 +5,7 @@
 //	ncapsim -policy ncap.cons -workload apache -level medium
 //	ncapsim -policy perf -workload memcached -load 90000 -measure 500ms
 //	ncapsim -exp fig1          # print the P-state transition table (Fig. 1)
+//	ncapsim -json out/report.json -trace-out out/events.jsonl
 package main
 
 import (
@@ -14,13 +15,16 @@ import (
 	"time"
 
 	"ncap"
-	"ncap/internal/cluster"
+	"ncap/internal/cliflags"
 	"ncap/internal/experiments"
-	"ncap/internal/fault"
 	"ncap/internal/power"
+	"ncap/internal/report"
 	"ncap/internal/runner"
 	"ncap/internal/sim"
+	"ncap/internal/telemetry"
 )
+
+const tool = "ncapsim"
 
 func main() {
 	var (
@@ -35,77 +39,60 @@ func main() {
 		verbose    = flag.Bool("v", false, "print extended counters")
 		cacheDir   = flag.String("cache", "", "result cache directory shared with ncapsweep (empty disables)")
 		timeout    = flag.Duration("timeout", 10*time.Minute, "wall-clock timeout (0 disables)")
-		lossP      = flag.Float64("loss", 0, "Bernoulli frame-loss probability on the server access link (both directions)")
-		corruptP   = flag.Float64("corrupt", 0, "bit-corruption probability on the server access link (FCS drop at the receiver)")
-		dupP       = flag.Float64("dup", 0, "frame duplication probability on the server access link")
-		reorderP   = flag.Float64("reorder", 0, "frame reordering probability on the server access link")
-		reorderMax = flag.Duration("reorder-max", 500*time.Microsecond, "maximum extra delay for reordered frames")
+		faults     cliflags.Faults
+		out        cliflags.Output
 	)
+	faults.Register()
+	out.Register(true)
 	flag.Parse()
+	out.StartPprof(tool)
 
 	if *exp == "fig1" {
-		printFig1()
+		experiments.RenderFig1(os.Stdout)
 		return
 	}
 	if *exp != "" {
-		fmt.Fprintf(os.Stderr, "ncapsim: unknown -exp %q (want fig1; see ncapsweep for the rest)\n", *exp)
-		os.Exit(2)
+		cliflags.Fatalf(tool, "unknown -exp %q (want fig1; see ncapsweep for the rest)", *exp)
 	}
 
-	prof, err := ncap.WorkloadByName(*workload)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ncapsim:", err)
-		os.Exit(2)
-	}
-	policy, err := ncap.ParsePolicy(*policyName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ncapsim:", err)
-		os.Exit(2)
-	}
+	prof := cliflags.Workload(tool, *workload)
+	policy := cliflags.Policy(tool, *policyName)
+	faults.Validate(tool)
 	rps := *load
 	if rps == 0 {
-		lvl, err := parseLevel(*level)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ncapsim:", err)
-			os.Exit(2)
-		}
-		rps = ncap.LoadRPS(prof.Name, lvl)
+		rps = ncap.LoadRPS(prof.Name, cliflags.Level(tool, *level))
 	}
 
 	cfg := ncap.DefaultConfig(policy, prof, rps)
 	cfg.Measure = sim.Duration(measure.Nanoseconds())
 	cfg.Warmup = sim.Duration(warmup.Nanoseconds())
 	cfg.Seed = *seed
-	if *lossP > 0 || *corruptP > 0 || *dupP > 0 || *reorderP > 0 {
-		cfg.Fault.Links = append(cfg.Fault.Links, fault.LinkFault{
-			Node:       uint32(cluster.ServerAddr),
-			Dir:        fault.Both,
-			Loss:       fault.LossBernoulli,
-			P:          *lossP,
-			CorruptP:   *corruptP,
-			DupP:       *dupP,
-			ReorderP:   *reorderP,
-			ReorderMax: sim.Duration(reorderMax.Nanoseconds()),
-		})
-	}
+	faults.Apply(&cfg)
 	if err := cfg.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, "ncapsim:", err)
-		os.Exit(2)
+		cliflags.Fatalf(tool, "%v", err)
+	}
+
+	// The telemetry sink rides on the config; it is pure observation, so
+	// the Result (and the text output below) is identical either way.
+	var tel *telemetry.Telemetry
+	if out.JSON != "" || out.TraceOut != "" {
+		tel = telemetry.New(telemetry.Options{})
+		cfg.Telemetry = tel
 	}
 
 	pool := runner.New(runner.Options{Jobs: 1, CacheDir: *cacheDir, Timeout: *timeout})
 	start := time.Now()
-	out := pool.RunOne(runner.Job{
+	outc := pool.RunOne(runner.Job{
 		Tag:    fmt.Sprintf("%s/%s/%.0frps", cfg.Policy, cfg.Workload.Name, cfg.LoadRPS),
 		Config: cfg,
 	})
 	wall := time.Since(start)
-	if out.Err != nil {
-		fmt.Fprintln(os.Stderr, "ncapsim:", out.Err)
+	if outc.Err != nil {
+		fmt.Fprintln(os.Stderr, "ncapsim:", outc.Err)
 		os.Exit(1)
 	}
-	res := out.Result
-	if out.CacheHit {
+	res := outc.Result
+	if outc.CacheHit {
 		fmt.Fprintln(os.Stderr, "ncapsim: result served from cache")
 	}
 
@@ -132,25 +119,32 @@ func main() {
 		fmt.Printf("simulator: %d events in %v (%.1f Mevents/s)\n",
 			res.Events, wall.Round(time.Millisecond), float64(res.Events)/wall.Seconds()/1e6)
 	}
+
+	if out.JSON != "" {
+		r := report.New(tool, "single")
+		r.Runs = append(r.Runs, report.FromResult(outc.Job.Tag, res))
+		r.AddTelemetry(tel)
+		if err := r.WriteFile(out.JSON); err != nil {
+			fmt.Fprintln(os.Stderr, "ncapsim:", err)
+			os.Exit(1)
+		}
+	}
+	if out.TraceOut != "" {
+		if err := writeTraceJSONL(out.TraceOut, tel.Trace()); err != nil {
+			fmt.Fprintln(os.Stderr, "ncapsim:", err)
+			os.Exit(1)
+		}
+	}
 }
 
-func parseLevel(s string) (ncap.LoadLevel, error) {
-	switch s {
-	case "low":
-		return ncap.LowLoad, nil
-	case "medium":
-		return ncap.MediumLoad, nil
-	case "high":
-		return ncap.HighLoad, nil
+func writeTraceJSONL(path string, tr *telemetry.EventTrace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
 	}
-	return 0, fmt.Errorf("unknown level %q (want low, medium, high)", s)
-}
-
-func printFig1() {
-	fmt.Println("# Fig. 1 — P-state transition timing (Table 1 parameters)")
-	fmt.Printf("%-22s %-22s %-5s %9s %9s %9s\n", "from", "to", "dir", "ramp(µs)", "halt(µs)", "total(µs)")
-	for _, r := range experiments.Fig1() {
-		fmt.Printf("%-22s %-22s %-5s %9.1f %9.1f %9.1f\n",
-			r.From, r.To, r.Direction, r.RampUs, r.HaltUs, r.EffectUs)
+	if err := tr.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
 	}
+	return f.Close()
 }

@@ -12,6 +12,7 @@
 //	ncapsweep -exp ablations -workload apache     # design-choice ablations
 //	ncapsweep -exp e11       -workload apache     # policies on a degraded fabric
 //	ncapsweep -exp all                            # everything
+//	ncapsweep -exp headline -json out/report.json # machine-readable results
 //
 // -full switches from quick windows to the EXPERIMENTS.md measurement
 // windows (slower but matches the recorded numbers).
@@ -21,6 +22,10 @@
 // byte-identical at any -jobs value; progress goes to stderr. -cache
 // memoizes results by config content under a directory, so a repeated
 // sweep (same code, same seed, same windows) completes from cache.
+//
+// -json writes a schema-stamped report with every run in submission
+// order; because runs are recorded in that order regardless of worker
+// interleaving, the report is byte-identical at any -jobs value too.
 package main
 
 import (
@@ -30,12 +35,15 @@ import (
 	"runtime"
 	"time"
 
-	"ncap"
 	"ncap/internal/app"
+	"ncap/internal/cliflags"
 	"ncap/internal/cluster"
 	"ncap/internal/experiments"
+	"ncap/internal/report"
 	"ncap/internal/runner"
 )
+
+const tool = "ncapsweep"
 
 func main() {
 	var (
@@ -43,31 +51,14 @@ func main() {
 		workload = flag.String("workload", "", "restrict to one workload (apache, memcached)")
 		full     = flag.Bool("full", false, "use the full measurement windows")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
-		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulations (must be positive)")
-		cacheDir = flag.String("cache", "", "result cache directory (empty disables caching)")
-		timeout  = flag.Duration("timeout", 10*time.Minute, "per-simulation wall-clock timeout (must be positive)")
-		retries  = flag.Int("retries", 1, "re-runs per timed-out/panicked job before it is reported failed")
-		quiet    = flag.Bool("q", false, "suppress progress output on stderr")
+		rn       cliflags.Runner
+		out      cliflags.Output
 	)
+	rn.Register(runtime.GOMAXPROCS(0))
+	out.Register(false)
 	flag.Parse()
-
-	// Reject nonsense resource limits up front: a zero or negative -jobs
-	// would silently fall back to GOMAXPROCS, and a zero -timeout would
-	// silently disable the watchdog — both surprising ways to "work".
-	switch {
-	case *jobs <= 0:
-		fmt.Fprintf(os.Stderr, "ncapsweep: -jobs %d: must be positive\n", *jobs)
-		flag.Usage()
-		os.Exit(2)
-	case *timeout <= 0:
-		fmt.Fprintf(os.Stderr, "ncapsweep: -timeout %v: must be positive\n", *timeout)
-		flag.Usage()
-		os.Exit(2)
-	case *retries < 0:
-		fmt.Fprintf(os.Stderr, "ncapsweep: -retries %d: must be non-negative\n", *retries)
-		flag.Usage()
-		os.Exit(2)
-	}
+	rn.Validate(tool)
+	out.StartPprof(tool)
 
 	o := experiments.Quick()
 	if *full {
@@ -75,29 +66,11 @@ func main() {
 	}
 	o.Seed = *seed
 
-	var progress *os.File
-	if !*quiet {
-		progress = os.Stderr
-	}
-	pool := runner.New(runner.Options{
-		Jobs:     *jobs,
-		CacheDir: *cacheDir,
-		Timeout:  *timeout,
-		Retries:  *retries,
-		Progress: progress,
-	})
+	pool := runner.New(rn.Options(out.JSON != ""))
 	o.Runner = pool
 	start := time.Now()
 
-	profiles := []app.Profile{app.ApacheProfile(), app.MemcachedProfile()}
-	if *workload != "" {
-		prof, err := ncap.WorkloadByName(*workload)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ncapsweep:", err)
-			os.Exit(2)
-		}
-		profiles = []app.Profile{prof}
-	}
+	profiles := cliflags.Workloads(tool, *workload)
 
 	switch *exp {
 	case "lvl":
@@ -124,7 +97,7 @@ func main() {
 		}
 	case "e11":
 		for _, prof := range profiles {
-			degraded(o, prof)
+			experiments.RenderDegraded(os.Stdout, o, prof)
 		}
 	case "all":
 		fig2(o)
@@ -136,15 +109,22 @@ func main() {
 			extensions(o, prof)
 		}
 		for _, prof := range profiles {
-			degraded(o, prof)
+			experiments.RenderDegraded(os.Stdout, o, prof)
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "ncapsweep: unknown -exp %q\n", *exp)
-		flag.Usage()
-		os.Exit(2)
+		cliflags.Fatalf(tool, "unknown -exp %q", *exp)
 	}
 
-	if !*quiet {
+	if out.JSON != "" {
+		r := report.New(tool, *exp)
+		r.AddOutcomes(pool.Outcomes())
+		if err := r.WriteFile(out.JSON); err != nil {
+			fmt.Fprintln(os.Stderr, "ncapsweep:", err)
+			os.Exit(1)
+		}
+	}
+
+	if !rn.Quiet {
 		st := pool.Stats()
 		fmt.Fprintf(os.Stderr, "ncapsweep: %d simulations (%d executed, %d cached, %d failed) on %d workers in %v\n",
 			st.Jobs, st.Ran, st.CacheHits, st.Failures, pool.Workers(),
@@ -210,37 +190,6 @@ func extensions(o experiments.Options, prof app.Profile) {
 			r.Name, r.Result.Latency.P95.Millis(), r.Result.EnergyJ)
 	}
 	fmt.Println()
-}
-
-func degraded(o experiments.Options, prof app.Profile) {
-	fmt.Printf("# E11 — %s under degraded network (medium load; flapping client-1 downlink, slow client 2, server-link loss sweep)\n", prof.Name)
-	fmt.Printf("%-10s %6s %9s %9s %9s %8s %8s %8s %8s\n",
-		"policy", "loss%", "p95(ms)", "p99(ms)", "energy(J)", "retrans", "abandon", "lost", "resent")
-	for _, r := range experiments.DegradedNetwork(o, prof, cluster.MediumLoad) {
-		if r.Err != "" {
-			// A failed cell is a row, not an abort: the sweep completes
-			// and the process exit code reports the failure count.
-			fmt.Printf("%-10s %6.1f FAILED (%d attempts): %s\n",
-				r.Policy, r.LossPct, r.Attempts, firstLine(r.Err))
-			continue
-		}
-		res := r.Result
-		fmt.Printf("%-10s %6.1f %9.3f %9.3f %9.2f %8d %8d %8d %8d\n",
-			r.Policy, r.LossPct, res.Latency.P95.Millis(), res.Latency.P99.Millis(),
-			res.EnergyJ, res.Retransmits, res.Abandoned,
-			res.FaultDrops+res.CorruptDrops, res.DupResent)
-	}
-	fmt.Println()
-}
-
-// firstLine trims a multi-line error (panic stacks) for table output.
-func firstLine(s string) string {
-	for i := 0; i < len(s); i++ {
-		if s[i] == '\n' {
-			return s[:i]
-		}
-	}
-	return s
 }
 
 func ablations(o experiments.Options, prof app.Profile) {

@@ -7,6 +7,7 @@
 //	ncaptrace -policy ond.idle  -workload apache -level low > fig4.csv
 //	ncaptrace -policy ncap.cons -workload apache -level low > snapshot.csv
 //	ncaptrace -snapshot -workload memcached -level low -out mem  # both policies
+//	ncaptrace -policy ncap.cons -json fig4.json > fig4.csv       # series as JSON
 package main
 
 import (
@@ -16,12 +17,16 @@ import (
 	"time"
 
 	"ncap"
+	"ncap/internal/cliflags"
 	"ncap/internal/cluster"
 	"ncap/internal/experiments"
 	"ncap/internal/fault"
+	"ncap/internal/report"
 	"ncap/internal/runner"
 	"ncap/internal/sim"
 )
+
+const tool = "ncaptrace"
 
 func main() {
 	var (
@@ -35,17 +40,17 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "simulation seed")
 		jobsN      = flag.Int("jobs", 2, "concurrent simulations (the -snapshot pair parallelizes)")
 		lossP      = flag.Float64("loss", 0, "Bernoulli frame-loss probability on the server access link — trace NCAP's behavior on a lossy fabric")
+		output     cliflags.Output
 	)
+	output.Register(false)
 	flag.Parse()
+	output.StartPprof(tool)
+	if *lossP < 0 || *lossP > 1 {
+		cliflags.Fatalf(tool, "-loss %v: must be a probability in [0,1]", *lossP)
+	}
 
-	prof, err := ncap.WorkloadByName(*workload)
-	if err != nil {
-		fatal(err)
-	}
-	lvl, err := parseLevel(*level)
-	if err != nil {
-		fatal(err)
-	}
+	prof := cliflags.Workload(tool, *workload)
+	lvl := cliflags.Level(tool, *level)
 	o := experiments.Quick()
 	o.Measure = sim.Duration(measure.Nanoseconds())
 	o.Seed = *seed
@@ -54,16 +59,21 @@ func main() {
 	// cache never serves them).
 	o.Runner = runner.New(runner.Options{Jobs: *jobsN})
 
+	rep := report.New(tool, "trace")
+
 	if *snapshot {
 		ond, ncp := experiments.Snapshots(o, prof, lvl)
 		writeTrace(ond, fileOrStdout(*out, "ond.idle"))
 		writeTrace(ncp, fileOrStdout(*out, "ncap.cons"))
+		addTrace(rep, ond)
+		addTrace(rep, ncp)
+		writeReport(rep, output.JSON)
 		return
 	}
 
 	policy, err := ncap.ParsePolicy(*policyName)
 	if err != nil {
-		fatal(err)
+		cliflags.Fatalf(tool, "%v", err)
 	}
 	var mutate []func(*cluster.Config)
 	if *lossP > 0 {
@@ -79,6 +89,27 @@ func main() {
 	tr := experiments.Trace(o, policy, prof, cluster.LoadRPS(prof.Name, lvl),
 		sim.Duration(interval.Nanoseconds()), mutate...)
 	writeTrace(tr, fileOrStdout(*out, string(policy)))
+	addTrace(rep, tr)
+	writeReport(rep, output.JSON)
+}
+
+// addTrace appends one traced run and its sampled series, prefixing each
+// series name with the policy so a snapshot pair's signals stay distinct.
+func addTrace(rep *report.Report, tr experiments.TraceResult) {
+	rep.Runs = append(rep.Runs, report.FromResult(string(tr.Policy), tr.Result))
+	for _, s := range report.SeriesFromSampler(tr.Result.Sampler) {
+		s.Name = string(tr.Policy) + "." + s.Name
+		rep.Series = append(rep.Series, s)
+	}
+}
+
+func writeReport(rep *report.Report, path string) {
+	if path == "" {
+		return
+	}
+	if err := rep.WriteFile(path); err != nil {
+		fatal(err)
+	}
 }
 
 func writeTrace(tr experiments.TraceResult, w *os.File) {
@@ -105,18 +136,6 @@ func fileOrStdout(prefix, name string) *os.File {
 	}
 	fmt.Fprintln(os.Stderr, "ncaptrace: writing", path)
 	return f
-}
-
-func parseLevel(s string) (cluster.LoadLevel, error) {
-	switch s {
-	case "low":
-		return cluster.LowLoad, nil
-	case "medium":
-		return cluster.MediumLoad, nil
-	case "high":
-		return cluster.HighLoad, nil
-	}
-	return 0, fmt.Errorf("unknown level %q", s)
 }
 
 func fatal(err error) {

@@ -4,6 +4,7 @@ import (
 	"ncap/internal/netsim"
 	"ncap/internal/sim"
 	"ncap/internal/stats"
+	"ncap/internal/telemetry"
 )
 
 // ClientConfig parameterizes one open-loop burst client.
@@ -68,6 +69,7 @@ type Client struct {
 	nextSeq     uint64
 	pending     map[uint64]*pendingReq
 	lat         *stats.LatencyRecorder
+	latHist     *telemetry.Histogram // live RTT distribution (nil when telemetry off)
 	measureFrom sim.Time
 	running     bool
 
@@ -122,6 +124,7 @@ func (c *Client) Stop() { c.running = false }
 // on are recorded (the warmup boundary).
 func (c *Client) BeginMeasurement() {
 	c.lat.Reset()
+	c.latHist.Reset()
 	c.measureFrom = c.eng.Now()
 	c.Sent.Reset()
 	c.Completed.Reset()
@@ -196,6 +199,7 @@ func (c *Client) timeout(id uint64) {
 		c.Abandoned.Inc()
 		if pr.sent >= c.measureFrom {
 			c.lat.Record(c.eng.Now() - pr.sent)
+			c.latHist.Record(c.eng.Now() - pr.sent)
 		}
 		delete(c.pending, id)
 		return
@@ -239,6 +243,7 @@ func (c *Client) Receive(p *netsim.Packet) {
 	c.Completed.Inc()
 	if pr.sent >= c.measureFrom {
 		c.lat.Record(c.eng.Now() - pr.sent)
+		c.latHist.Record(c.eng.Now() - pr.sent)
 	}
 	delete(c.pending, p.ReqID)
 }

@@ -1,0 +1,213 @@
+// Package cliflags centralizes the flag spelling, parsing and validation
+// shared by the ncap command-line tools (ncapsim, ncapsweep, ncaptrace):
+// workload/policy/level lookup, runner resource limits, fault-injection
+// knobs, and the machine-readable output flags (-json, -trace-out,
+// -pprof). Every tool spells these flags identically and rejects bad
+// values the same way: a message on stderr, usage, exit code 2.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"ncap/internal/app"
+	"ncap/internal/cluster"
+	"ncap/internal/fault"
+	"ncap/internal/runner"
+	"ncap/internal/sim"
+
+	// Registered on the default mux for the optional -pprof endpoint.
+	_ "net/http/pprof"
+)
+
+// Fatalf reports a usage error the uniform way: message, usage, exit 2.
+func Fatalf(tool, format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, tool+": "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// Workload resolves a workload name or exits 2.
+func Workload(tool, name string) app.Profile {
+	prof, err := app.ProfileByName(name)
+	if err != nil {
+		Fatalf(tool, "%v", err)
+	}
+	return prof
+}
+
+// Workloads resolves a workload restriction: empty means every built-in
+// profile, anything else must name one of them (or the tool exits 2).
+func Workloads(tool, name string) []app.Profile {
+	if name == "" {
+		return []app.Profile{app.ApacheProfile(), app.MemcachedProfile()}
+	}
+	return []app.Profile{Workload(tool, name)}
+}
+
+// Policy resolves a policy name or exits 2.
+func Policy(tool, name string) cluster.Policy {
+	p, err := cluster.ParsePolicy(name)
+	if err != nil {
+		Fatalf(tool, "%v", err)
+	}
+	return p
+}
+
+// Level resolves a paper load-level name or exits 2.
+func Level(tool, name string) cluster.LoadLevel {
+	switch name {
+	case "low":
+		return cluster.LowLoad
+	case "medium":
+		return cluster.MediumLoad
+	case "high":
+		return cluster.HighLoad
+	}
+	Fatalf(tool, "unknown level %q (want low, medium, high)", name)
+	panic("unreachable")
+}
+
+// Runner bundles the execution resource flags.
+type Runner struct {
+	Jobs    int
+	Cache   string
+	Timeout time.Duration
+	Retries int
+	Quiet   bool
+}
+
+// Register installs the runner flags with the given default worker count.
+func (r *Runner) Register(defaultJobs int) {
+	flag.IntVar(&r.Jobs, "jobs", defaultJobs, "concurrent simulations (must be positive)")
+	flag.StringVar(&r.Cache, "cache", "", "result cache directory (empty disables caching)")
+	flag.DurationVar(&r.Timeout, "timeout", 10*time.Minute, "per-simulation wall-clock timeout (must be positive)")
+	flag.IntVar(&r.Retries, "retries", 1, "re-runs per timed-out/panicked job before it is reported failed")
+	flag.BoolVar(&r.Quiet, "q", false, "suppress progress output on stderr")
+}
+
+// Validate rejects nonsense resource limits up front: a zero or negative
+// -jobs would silently fall back to GOMAXPROCS, and a zero -timeout would
+// silently disable the watchdog — both surprising ways to "work".
+func (r *Runner) Validate(tool string) {
+	switch {
+	case r.Jobs <= 0:
+		Fatalf(tool, "-jobs %d: must be positive", r.Jobs)
+	case r.Timeout <= 0:
+		Fatalf(tool, "-timeout %v: must be positive", r.Timeout)
+	case r.Retries < 0:
+		Fatalf(tool, "-retries %d: must be non-negative", r.Retries)
+	}
+}
+
+// Options builds runner options from the flags. record keeps outcomes
+// for report export; progress (stderr unless -q) receives batch progress.
+func (r *Runner) Options(record bool) runner.Options {
+	// Declared as the interface type: a nil *os.File boxed into io.Writer
+	// would read as "progress enabled" to the runner.
+	var progress io.Writer
+	if !r.Quiet {
+		progress = os.Stderr
+	}
+	return runner.Options{
+		Jobs:     r.Jobs,
+		CacheDir: r.Cache,
+		Timeout:  r.Timeout,
+		Retries:  r.Retries,
+		Progress: progress,
+		Record:   record,
+	}
+}
+
+// Faults bundles the fault-injection flags, all applied to the server
+// access link in both directions.
+type Faults struct {
+	Loss       float64
+	Corrupt    float64
+	Dup        float64
+	Reorder    float64
+	ReorderMax time.Duration
+}
+
+// Register installs the fault flags.
+func (f *Faults) Register() {
+	flag.Float64Var(&f.Loss, "loss", 0, "Bernoulli frame-loss probability on the server access link (both directions)")
+	flag.Float64Var(&f.Corrupt, "corrupt", 0, "bit-corruption probability on the server access link (FCS drop at the receiver)")
+	flag.Float64Var(&f.Dup, "dup", 0, "frame duplication probability on the server access link")
+	flag.Float64Var(&f.Reorder, "reorder", 0, "frame reordering probability on the server access link")
+	flag.DurationVar(&f.ReorderMax, "reorder-max", 500*time.Microsecond, "maximum extra delay for reordered frames")
+}
+
+// Validate rejects out-of-range probabilities with exit code 2.
+func (f *Faults) Validate(tool string) {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"loss", f.Loss}, {"corrupt", f.Corrupt}, {"dup", f.Dup}, {"reorder", f.Reorder},
+	} {
+		if p.v < 0 || p.v > 1 {
+			Fatalf(tool, "-%s %v: must be a probability in [0,1]", p.name, p.v)
+		}
+	}
+	if f.ReorderMax <= 0 {
+		Fatalf(tool, "-reorder-max %v: must be positive", f.ReorderMax)
+	}
+}
+
+// Any reports whether any fault is requested.
+func (f *Faults) Any() bool {
+	return f.Loss > 0 || f.Corrupt > 0 || f.Dup > 0 || f.Reorder > 0
+}
+
+// Apply attaches the requested faults to the config's server access link.
+func (f *Faults) Apply(cfg *cluster.Config) {
+	if !f.Any() {
+		return
+	}
+	cfg.Fault.Links = append(cfg.Fault.Links, fault.LinkFault{
+		Node:       uint32(cluster.ServerAddr),
+		Dir:        fault.Both,
+		Loss:       fault.LossBernoulli,
+		P:          f.Loss,
+		CorruptP:   f.Corrupt,
+		DupP:       f.Dup,
+		ReorderP:   f.Reorder,
+		ReorderMax: sim.Duration(f.ReorderMax.Nanoseconds()),
+	})
+}
+
+// Output bundles the machine-readable output flags.
+type Output struct {
+	JSON     string
+	TraceOut string
+	Pprof    string
+}
+
+// Register installs the output flags. traceOut controls whether the tool
+// supports event-trace export (-trace-out), which needs a per-run
+// telemetry sink.
+func (o *Output) Register(traceOut bool) {
+	flag.StringVar(&o.JSON, "json", "", "write a schema-stamped report.json to this path")
+	if traceOut {
+		flag.StringVar(&o.TraceOut, "trace-out", "", "write the telemetry event trace as JSONL to this path (enables telemetry)")
+	}
+	flag.StringVar(&o.Pprof, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the life of the process")
+}
+
+// StartPprof starts the profiling endpoint when -pprof was given. It
+// returns immediately; the server runs until the process exits.
+func (o *Output) StartPprof(tool string) {
+	if o.Pprof == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(o.Pprof, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: pprof: %v\n", tool, err)
+		}
+	}()
+}

@@ -1,0 +1,110 @@
+package cliflags
+
+import (
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+
+	"ncap/internal/cluster"
+	"ncap/internal/fault"
+)
+
+func TestLookupsResolve(t *testing.T) {
+	if got := Workload("t", "apache").Name; got != "apache" {
+		t.Errorf("Workload = %q", got)
+	}
+	if got := len(Workloads("t", "")); got != 2 {
+		t.Errorf("empty Workloads restriction = %d profiles, want both", got)
+	}
+	if got := Policy("t", "ncap.aggr"); got != cluster.NcapAggr {
+		t.Errorf("Policy = %v", got)
+	}
+	if got := Level("t", "medium"); got != cluster.MediumLoad {
+		t.Errorf("Level = %v", got)
+	}
+}
+
+func TestFaultsApply(t *testing.T) {
+	var cfg cluster.Config
+	f := Faults{ReorderMax: time.Millisecond}
+	f.Apply(&cfg)
+	if len(cfg.Fault.Links) != 0 {
+		t.Fatal("inert faults still injected a link")
+	}
+	f.Loss = 0.1
+	f.Apply(&cfg)
+	if len(cfg.Fault.Links) != 1 {
+		t.Fatalf("%d links, want 1", len(cfg.Fault.Links))
+	}
+	l := cfg.Fault.Links[0]
+	if l.Node != uint32(cluster.ServerAddr) || l.Dir != fault.Both || l.P != 0.1 {
+		t.Fatalf("link %+v", l)
+	}
+}
+
+func TestRunnerOptions(t *testing.T) {
+	r := Runner{Jobs: 3, Cache: "/c", Timeout: time.Minute, Retries: 2, Quiet: true}
+	o := r.Options(true)
+	if o.Jobs != 3 || o.CacheDir != "/c" || o.Timeout != time.Minute || o.Retries != 2 || !o.Record {
+		t.Fatalf("options %+v", o)
+	}
+	if o.Progress != nil {
+		t.Fatal("-q did not suppress progress")
+	}
+	r.Quiet = false
+	if r.Options(false).Progress != os.Stderr {
+		t.Fatal("progress not wired to stderr")
+	}
+}
+
+// Every tool rejects bad flag values the same way: exit code 2. The
+// validators terminate the process, so each case runs in a re-executed
+// copy of the test binary.
+func TestValidationExitCode(t *testing.T) {
+	for _, tc := range []string{
+		"jobs", "timeout", "retries", "loss", "reorder-max",
+		"workload", "policy", "level",
+	} {
+		tc := tc
+		t.Run(tc, func(t *testing.T) {
+			cmd := exec.Command(os.Args[0], "-test.run", "TestValidationHelper")
+			cmd.Env = append(os.Environ(), "CLIFLAGS_CASE="+tc)
+			err := cmd.Run()
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("invalid -%s: err = %v, want exit error", tc, err)
+			}
+			if code := ee.ExitCode(); code != 2 {
+				t.Fatalf("invalid -%s: exit %d, want 2", tc, code)
+			}
+		})
+	}
+}
+
+// TestValidationHelper is the re-exec target: it feeds one invalid value
+// to the matching validator and must die with exit code 2 before reaching
+// the final exit 0.
+func TestValidationHelper(t *testing.T) {
+	switch os.Getenv("CLIFLAGS_CASE") {
+	case "":
+		t.Skip("re-exec target only")
+	case "jobs":
+		(&Runner{Jobs: 0, Timeout: time.Minute}).Validate("t")
+	case "timeout":
+		(&Runner{Jobs: 1, Timeout: 0}).Validate("t")
+	case "retries":
+		(&Runner{Jobs: 1, Timeout: time.Minute, Retries: -1}).Validate("t")
+	case "loss":
+		(&Faults{Loss: 1.5, ReorderMax: time.Millisecond}).Validate("t")
+	case "reorder-max":
+		(&Faults{ReorderMax: -time.Millisecond}).Validate("t")
+	case "workload":
+		Workload("t", "bogus")
+	case "policy":
+		Policy("t", "bogus")
+	case "level":
+		Level("t", "bogus")
+	}
+	os.Exit(0)
+}

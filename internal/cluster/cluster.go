@@ -34,8 +34,10 @@ type Cluster struct {
 	sw  *netsim.Switch
 
 	// faultLinks are every link an injector may be attached to; their
-	// fault counters aggregate into the Result.
-	faultLinks []*netsim.Link
+	// fault counters aggregate into the Result. faultLinkNames holds the
+	// matching "dir/nodeN" labels for telemetry registration.
+	faultLinks     []*netsim.Link
+	faultLinkNames []string
 
 	Chip    *cpu.Chip
 	Kernel  *oskernel.Kernel
@@ -95,10 +97,12 @@ func New(cfg Config) *Cluster {
 	c.sw = netsim.NewSwitch(eng, 500*sim.Nanosecond)
 	faultsOn := cfg.Fault.Enabled()
 	faulted := func(l *netsim.Link, node netsim.Addr, dir fault.Direction) *netsim.Link {
+		name := dir.String() + "/" + node.String()
 		c.faultLinks = append(c.faultLinks, l)
+		c.faultLinkNames = append(c.faultLinkNames, name)
 		if faultsOn {
 			model := cfg.Fault.Resolve(uint32(node), dir)
-			l.SetInjector(fault.NewInjector(model, cfg.Seed, dir.String()+"/"+node.String()))
+			l.SetInjector(fault.NewInjector(model, cfg.Seed, name))
 		}
 		return l
 	}
@@ -203,6 +207,10 @@ func New(cfg Config) *Cluster {
 	if cfg.TraceInterval > 0 {
 		c.Sampler = trace.NewSampler(c.Chip, c.NIC, cfg.TraceInterval, c.wakeCounter())
 	}
+
+	// Optional telemetry: registered last, once every component (NCAP
+	// blocks included) is assembled.
+	c.registerTelemetry()
 	return c
 }
 

@@ -10,6 +10,7 @@ import (
 	"ncap/internal/netsim"
 	"ncap/internal/nic"
 	"ncap/internal/sim"
+	"ncap/internal/telemetry"
 )
 
 // Config describes one experiment: a policy, a workload, a load level and
@@ -68,6 +69,11 @@ type Config struct {
 	// suppression). Part of the config, so it participates in the
 	// runner's content-keyed cache identity.
 	Fault fault.Spec
+	// Telemetry, when non-nil, wires every component's metrics and event
+	// trace into the given sink (see internal/telemetry). It is a live
+	// handle, not data: it is excluded from the runner's content-keyed
+	// cache identity, and telemetry-carrying jobs are never cached.
+	Telemetry *telemetry.Telemetry `json:"-"`
 }
 
 // DefaultBurstSize returns the per-client burst size that keeps the burst

@@ -129,12 +129,10 @@ func (c *Cluster) Run() Result {
 // the drain belong in the latency distribution (their requests were sent
 // inside the window) but would overstate the service *rate*.
 func (c *Cluster) mergeClientStats(res *Result) {
-	merged := stats.NewLatencyRecorder()
+	merged := stats.NewRecorder()
 	res.Sent, res.Completed, res.Retransmits, res.Abandoned = 0, 0, 0, 0
 	for _, cl := range c.Clients {
-		for _, d := range cl.Latency().Samples() {
-			merged.Record(d)
-		}
+		merged.Merge(cl.Latency())
 		res.Sent += cl.Sent.Value()
 		res.Completed += cl.Completed.Value()
 		res.Retransmits += cl.Retransmits.Value()
@@ -145,12 +143,10 @@ func (c *Cluster) mergeClientStats(res *Result) {
 
 func (c *Cluster) collect(energyJ float64) Result {
 	cfg := c.cfg
-	merged := stats.NewLatencyRecorder()
+	merged := stats.NewRecorder()
 	var sent, completed, retrans, abandoned int64
 	for _, cl := range c.Clients {
-		for _, d := range cl.Latency().Samples() {
-			merged.Record(d)
-		}
+		merged.Merge(cl.Latency())
 		sent += cl.Sent.Value()
 		completed += cl.Completed.Value()
 		retrans += cl.Retransmits.Value()

@@ -1,0 +1,43 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"ncap/internal/telemetry"
+)
+
+// Telemetry returns the sink the cluster was assembled with (nil when
+// telemetry is off).
+func (c *Cluster) Telemetry() *telemetry.Telemetry { return c.cfg.Telemetry }
+
+// registerTelemetry wires every component's metrics and event trace into
+// the config's sink under stable dotted prefixes. Each cluster needs its
+// own Telemetry instance — registering two clusters into one sink panics
+// on the duplicate names, by design. A nil sink makes this a no-op: the
+// components keep nil handles and every instrumentation call vanishes.
+func (c *Cluster) registerTelemetry() {
+	tel := c.cfg.Telemetry
+	if !tel.Enabled() {
+		return
+	}
+	reg, tr := tel.Registry(), tel.Trace()
+	c.Chip.RegisterTelemetry(reg, tr, "server.cpu")
+	c.Kernel.RegisterTelemetry(reg, "server.kernel")
+	c.NIC.RegisterTelemetry(reg, tr, "server.nic")
+	c.Driver.RegisterTelemetry(reg, tr, "server.driver")
+	if c.Ond != nil {
+		c.Ond.RegisterTelemetry(reg, "server.gov.ondemand")
+	}
+	if c.Menu != nil {
+		c.Menu.RegisterTelemetry(reg, "server.gov.menu")
+	}
+	c.Server.RegisterTelemetry(reg, "server.app")
+	for i, cl := range c.Clients {
+		cl.RegisterTelemetry(reg, fmt.Sprintf("client%d", i))
+	}
+	for i, l := range c.faultLinks {
+		name := strings.ReplaceAll(c.faultLinkNames[i], "/", ".")
+		l.RegisterTelemetry(reg, tr, "link."+name)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"ncap/internal/power"
 	"ncap/internal/sim"
 	"ncap/internal/stats"
+	"ncap/internal/telemetry"
 )
 
 // Chip is a multicore processor. Cores are grouped into DVFS domains that
@@ -23,6 +24,10 @@ type Chip struct {
 
 	meter    *power.EnergyMeter
 	onPState []func(power.PState)
+
+	// trace receives P/C-state transition events when telemetry is
+	// enabled (see RegisterTelemetry); nil otherwise, and Emit no-ops.
+	trace *telemetry.EventTrace
 }
 
 // Domain is one DVFS domain: the cores sharing a voltage rail and PLL.
@@ -238,6 +243,10 @@ func (d *Domain) finishTransition() {
 	d.transitioning = false
 	d.Transitions.Inc()
 	d.pstateMeter.Transition(now, d.cur.Index)
+	d.chip.trace.Emit(telemetry.Event{
+		T: now, Comp: "cpu", Kind: "pstate.set", Core: d.id,
+		V: float64(d.cur.MHz), Detail: d.cur.String(),
+	})
 	// Every running core was stalled for the relock, so resuming them here
 	// naturally restarts their slices at the new frequency.
 	for _, core := range d.cores {

@@ -6,6 +6,7 @@ import (
 	"ncap/internal/power"
 	"ncap/internal/sim"
 	"ncap/internal/stats"
+	"ncap/internal/telemetry"
 )
 
 // IdleDecider chooses a sleep state when a core runs out of work — the
@@ -150,6 +151,10 @@ func (c *Core) beginWake() {
 	c.cMeter.Transition(now, int(power.C0))
 	c.chip.powerChanged()
 	c.Wakes.Inc()
+	c.chip.trace.Emit(telemetry.Event{
+		T: now, Comp: "cpu", Kind: "cstate.exit", Core: c.id,
+		V: float64(slept), Detail: prev.String(),
+	})
 	c.wakeEv = c.chip.eng.Schedule(exit+power.MwaitWakeOverhead, func() {
 		c.waking = false
 		if c.decider != nil {
@@ -251,6 +256,10 @@ func (c *Core) enterIdle() {
 	c.entryMV = c.dom.cur.MilliVolts
 	c.cMeter.Transition(now, int(target))
 	c.chip.powerChanged()
+	c.chip.trace.Emit(telemetry.Event{
+		T: now, Comp: "cpu", Kind: "cstate.enter", Core: c.id,
+		V: float64(target), Detail: target.String(),
+	})
 }
 
 // beginStall pauses execution for a PLL relock (chip-wide P transition).

@@ -17,6 +17,7 @@ import (
 	"ncap/internal/oskernel"
 	"ncap/internal/sim"
 	"ncap/internal/stats"
+	"ncap/internal/telemetry"
 )
 
 // Config carries the driver's CPU cost model (cycles at the executing
@@ -134,6 +135,10 @@ type Driver struct {
 	Delivered stats.Counter
 	Boosts    stats.Counter
 	StepDowns stats.Counter
+
+	// trace receives boost/stepdown events when telemetry is enabled
+	// (see RegisterTelemetry); nil otherwise, and Emit no-ops.
+	trace *telemetry.EventTrace
 }
 
 // New initializes the driver: one interrupt vector and NET_RX softirq per
@@ -205,6 +210,7 @@ func (c *queueCtx) handleIRQ() {
 func (c *queueCtx) actHigh() {
 	d := c.d
 	d.Boosts.Inc()
+	d.emit("boost", c.coreID)
 	switch {
 	case d.hooks.BoostCore != nil:
 		d.hooks.BoostCore(c.coreID)
@@ -239,6 +245,7 @@ func (c *queueCtx) actHigh() {
 func (c *queueCtx) actLow() {
 	d := c.d
 	d.StepDowns.Inc()
+	d.emit("stepdown", c.coreID)
 	if c.menu {
 		c.menu = false
 		key := c.coreID
@@ -332,6 +339,7 @@ func (d *Driver) swTick() {
 
 func (d *Driver) swActHigh() {
 	d.Boosts.Inc()
+	d.emit("boost", d.k.IRQCore())
 	if d.hooks.Boost != nil {
 		d.hooks.Boost()
 	}
@@ -346,6 +354,7 @@ func (d *Driver) swActHigh() {
 
 func (d *Driver) swActLow() {
 	d.StepDowns.Inc()
+	d.emit("stepdown", d.k.IRQCore())
 	if d.swMenu && d.hooks.MenuEnable != nil {
 		d.hooks.MenuEnable()
 		d.swMenu = false

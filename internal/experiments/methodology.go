@@ -78,12 +78,10 @@ func runClosedLoop(o Options, prof app.Profile, loadRPS float64) OpenVsClosedRow
 	}
 	eng.Run(cfg.Warmup + cfg.Measure + cfg.Drain)
 
-	merged := stats.NewLatencyRecorder()
+	merged := stats.NewRecorder()
 	var completed int64
 	for _, c := range clients {
-		for _, d := range c.Latency().Samples() {
-			merged.Record(d)
-		}
+		merged.Merge(c.Latency())
 		completed += c.Completed.Value()
 	}
 	return OpenVsClosedRow{

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ncap/internal/app"
+	"ncap/internal/runner"
+)
+
+// golden reads a reference output captured from the pre-telemetry CLIs.
+// These files pin the experiment tables byte-for-byte: a diff means either
+// the physics changed (update EXPERIMENTS.md and the goldens together) or
+// instrumentation perturbed a run it must only observe.
+func golden(t *testing.T, name string) string {
+	t.Helper()
+	blob, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}
+
+func TestRenderFig1Golden(t *testing.T) {
+	var buf bytes.Buffer
+	RenderFig1(&buf)
+	if want := golden(t, "e1_fig1.golden"); buf.String() != want {
+		t.Fatalf("fig1 table drifted from golden:\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestRenderDegradedGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full 21-cell E11 grid")
+	}
+	o := Quick()
+	// Worker count must not matter: the golden was captured at -jobs 1.
+	o.Runner = runner.New(runner.Options{Jobs: 4})
+	var buf bytes.Buffer
+	RenderDegraded(&buf, o, app.ApacheProfile())
+	if want := golden(t, "e11_apache_quick.golden"); buf.String() != want {
+		t.Fatalf("E11 table drifted from golden:\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"ncap/internal/fault"
 	"ncap/internal/sim"
 	"ncap/internal/stats"
+	"ncap/internal/telemetry"
 )
 
 // DefaultLinkConfig matches Table 1: 10 Gb/s links with 1 µs latency.
@@ -45,6 +46,12 @@ type Link struct {
 	FaultCorrupts stats.Counter
 	FaultDups     stats.Counter
 	FaultDelays   stats.Counter
+
+	// trace receives fault events when telemetry is enabled (see
+	// RegisterTelemetry); nil otherwise, and Emit no-ops. name labels the
+	// link in those events.
+	trace *telemetry.EventTrace
+	name  string
 }
 
 // NewLink connects a new link to the destination receiver.
@@ -101,6 +108,7 @@ func (l *Link) sendFaulty(p *Packet, arrival sim.Time) bool {
 	act := l.inj.Judge(l.eng.Now())
 	if act.Drop {
 		l.FaultDrops.Inc()
+		l.emitFault("drop", float64(p.WireSize()))
 		return false
 	}
 	if act.Corrupt {
@@ -110,14 +118,17 @@ func (l *Link) sendFaulty(p *Packet, arrival sim.Time) bool {
 		// its first hop failing FCS at every store-and-forward check.
 		p.Corrupt = true
 		l.FaultCorrupts.Inc()
+		l.emitFault("corrupt", float64(p.WireSize()))
 	}
 	if act.ExtraDelay > 0 {
 		l.FaultDelays.Inc()
+		l.emitFault("delay", float64(act.ExtraDelay))
 		arrival += act.ExtraDelay
 	}
 	l.eng.At(arrival, func() { l.dst.Receive(p) })
 	if act.Duplicate {
 		l.FaultDups.Inc()
+		l.emitFault("dup", float64(p.WireSize()))
 		// The duplicate is its own frame instance trailing the original
 		// by one serialization slot (a retransmitting middlebox).
 		dup := *p

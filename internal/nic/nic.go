@@ -19,11 +19,13 @@ package nic
 
 import (
 	"fmt"
+	"strings"
 
 	"ncap/internal/core"
 	"ncap/internal/netsim"
 	"ncap/internal/sim"
 	"ncap/internal/stats"
+	"ncap/internal/telemetry"
 )
 
 // Interrupt cause bits (ICR). IT_RX/IT_TX exist on stock hardware;
@@ -99,10 +101,18 @@ type NIC struct {
 	RxDrops   stats.Counter
 	TxDrops   stats.Counter
 	IRQs      stats.Counter
+	// ITRFires counts rx interrupts posted by the moderation timers
+	// (AITT/PITT expiry) — the throttled path, as opposed to NCAP's
+	// urgent early wakes.
+	ITRFires stats.Counter
 	// RxCorruptDrops counts frames failing the MAC's FCS check — bits
 	// flipped in transit (fault injection) are detected by the Ethernet
 	// CRC and the frame is discarded before DMA, as on real hardware.
 	RxCorruptDrops stats.Counter
+
+	// trace receives irq/ncap events when telemetry is enabled (see
+	// RegisterTelemetry); nil otherwise, and Emit no-ops.
+	trace *telemetry.EventTrace
 }
 
 // Queue is one receive queue: a descriptor ring, moderation timers, an
@@ -217,6 +227,7 @@ func (n *NIC) ResetStats() {
 	n.RxDrops.Reset()
 	n.TxDrops.Reset()
 	n.IRQs.Reset()
+	n.ITRFires.Reset()
 	n.RxCorruptDrops.Reset()
 	for _, q := range n.queues {
 		if q.dec != nil {
@@ -338,6 +349,7 @@ func (q *Queue) moderationExpired() {
 	if len(q.ready) == 0 {
 		return
 	}
+	q.n.ITRFires.Inc()
 	q.post(ITRx, false)
 }
 
@@ -356,7 +368,29 @@ func (q *Queue) post(cause uint32, urgent bool) {
 	if q.dec != nil {
 		q.dec.NoteInterrupt(q.n.eng.Now())
 	}
+	q.n.trace.Emit(telemetry.Event{
+		T: q.n.eng.Now(), Comp: "nic", Kind: "irq", Core: q.id,
+		V: float64(cause), Detail: causeString(cause),
+	})
 	q.irq()
+}
+
+// causeString renders ICR cause bits for event traces.
+func causeString(cause uint32) string {
+	var parts []string
+	if cause&ITRx != 0 {
+		parts = append(parts, "rx")
+	}
+	if cause&ITTx != 0 {
+		parts = append(parts, "tx")
+	}
+	if cause&ITHigh != 0 {
+		parts = append(parts, "it_high")
+	}
+	if cause&ITLow != 0 {
+		parts = append(parts, "it_low")
+	}
+	return strings.Join(parts, "+")
 }
 
 func (q *Queue) mittExpired() {

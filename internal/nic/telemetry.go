@@ -1,0 +1,42 @@
+package nic
+
+import (
+	"fmt"
+
+	"ncap/internal/telemetry"
+)
+
+// RegisterTelemetry registers the device counters under prefix
+// (rx/tx byte and packet totals, drops, interrupt and moderation-timer
+// fire counts) plus per-queue NCAP decision counters, and attaches the
+// event trace for irq and NCAP decision events. Metrics are observable
+// closures over live device state — zero cost on the datapath. Safe to
+// call with nil handles (telemetry off).
+func (n *NIC) RegisterTelemetry(reg *telemetry.Registry, tr *telemetry.EventTrace, prefix string) {
+	n.trace = tr
+	reg.Counter(prefix+".rx.bytes", n.RxBytes.Value)
+	reg.Counter(prefix+".rx.packets", n.RxPackets.Value)
+	reg.Counter(prefix+".rx.drops", n.RxDrops.Value)
+	reg.Counter(prefix+".rx.corrupt_drops", n.RxCorruptDrops.Value)
+	reg.Counter(prefix+".tx.bytes", n.TxBytes.Value)
+	reg.Counter(prefix+".tx.packets", n.TxPackets.Value)
+	reg.Counter(prefix+".tx.drops", n.TxDrops.Value)
+	reg.Counter(prefix+".irqs", n.IRQs.Value)
+	reg.Counter(prefix+".itr.fires", n.ITRFires.Value)
+	for _, q := range n.queues {
+		q.registerTelemetry(reg, fmt.Sprintf("%s.q%d", prefix, q.id))
+	}
+}
+
+func (q *Queue) registerTelemetry(reg *telemetry.Registry, prefix string) {
+	reg.Gauge(prefix+".rx_pending", func() float64 { return float64(len(q.ready)) })
+	if q.dec == nil {
+		return // stock queue: no NCAP blocks to observe
+	}
+	reg.Counter(prefix+".ncap.highs", q.dec.Highs.Value)
+	reg.Counter(prefix+".ncap.lows", q.dec.Lows.Value)
+	reg.Counter(prefix+".ncap.wakes", q.dec.Wakes.Value)
+	reg.Counter(prefix+".ncap.suppressed", q.dec.Suppressed.Value)
+	reg.Counter(prefix+".ncap.matches", q.mon.Matches.Value)
+	reg.Counter(prefix+".ncap.misses", q.mon.Misses.Value)
+}

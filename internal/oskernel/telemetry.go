@@ -1,0 +1,12 @@
+package oskernel
+
+import (
+	"ncap/internal/telemetry"
+)
+
+// RegisterTelemetry registers the kernel's dispatch counters under
+// prefix. Safe to call with a nil registry (telemetry off).
+func (k *Kernel) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+".hardirqs", k.HardIRQs.Value)
+	reg.Counter(prefix+".softirqs", k.SoftIRQs.Value)
+}

@@ -1,0 +1,249 @@
+// Package report defines the simulator's machine-readable run output: a
+// versioned, schema-stamped document wrapping cluster results, sweep
+// summaries, telemetry metric dumps and time series with stable JSON
+// field names.
+//
+// Determinism contract: a Report built from the same experiment
+// configuration is byte-identical regardless of worker count, cache
+// state or host — everything wall-clock (job elapsed times, cache hits,
+// retry counts) is deliberately excluded. Tables printed by the CLIs
+// remain the cluster.Result.WriteRow text format; Run.WriteRow produces
+// byte-identical rows from the report's own fields, so a report is a
+// faithful superset of the text output.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"ncap/internal/cluster"
+	"ncap/internal/power"
+	"ncap/internal/runner"
+	"ncap/internal/sim"
+	"ncap/internal/telemetry"
+	"ncap/internal/trace"
+)
+
+// Schema identifies the report document format. Bump on any change to
+// field meaning that old readers would misinterpret; additive optional
+// fields do not require a bump.
+const Schema = "ncap-report-v1"
+
+// Report is the top-level document.
+type Report struct {
+	// Schema is always the package Schema constant on documents this
+	// package writes; readers should reject unknown major versions.
+	Schema string `json:"schema"`
+	// Tool names the generating command ("ncapsweep", "ncapsim", ...).
+	Tool string `json:"tool,omitempty"`
+	// Experiment labels the sweep or experiment that produced the runs.
+	Experiment string `json:"experiment,omitempty"`
+	// Runs are the per-simulation results, in submission order.
+	Runs []Run `json:"runs"`
+	// Sweep summarizes the batch (deterministic counters only).
+	Sweep *SweepStats `json:"sweep,omitempty"`
+	// Metrics is the telemetry registry dump (sorted by name).
+	Metrics []telemetry.Sample `json:"metrics,omitempty"`
+	// Events summarizes the telemetry event trace.
+	Events *EventsSummary `json:"events,omitempty"`
+	// Series carries sampled time series (Fig. 8/9 signals).
+	Series []Series `json:"series,omitempty"`
+}
+
+// New returns an empty report stamped with the current schema.
+func New(tool, experiment string) *Report {
+	return &Report{Schema: Schema, Tool: tool, Experiment: experiment}
+}
+
+// SweepStats are the deterministic batch counters: wall-clock, retry and
+// cache-hit counts are excluded so reports stay byte-identical across
+// worker counts and cache states.
+type SweepStats struct {
+	Jobs     int `json:"jobs"`
+	Failures int `json:"failures"`
+}
+
+// Latency is the distribution summary with explicit nanosecond units.
+type Latency struct {
+	Count  int   `json:"count"`
+	MeanNs int64 `json:"mean_ns"`
+	P50Ns  int64 `json:"p50_ns"`
+	P90Ns  int64 `json:"p90_ns"`
+	P95Ns  int64 `json:"p95_ns"`
+	P99Ns  int64 `json:"p99_ns"`
+	MaxNs  int64 `json:"max_ns"`
+}
+
+// CState is one sleep state's aggregate residency across cores.
+type CState struct {
+	ResidencyNs int64 `json:"residency_ns"`
+	Entries     int   `json:"entries"`
+}
+
+// Faults bundles the fault-injection and loss-recovery accounting; nil
+// on a perfect fabric.
+type Faults struct {
+	Drops         int64 `json:"drops"`
+	CorruptDrops  int64 `json:"corrupt_drops"`
+	Dups          int64 `json:"dups"`
+	Delays        int64 `json:"delays"`
+	DupSuppressed int64 `json:"dup_suppressed"`
+	DupResent     int64 `json:"dup_resent"`
+}
+
+// Run is one simulation's result with stable JSON field names. It wraps
+// cluster.Result: every value is copied, units are explicit, and nothing
+// wall-clock-dependent is included.
+type Run struct {
+	Tag      string  `json:"tag,omitempty"`
+	Policy   string  `json:"policy"`
+	Workload string  `json:"workload"`
+	LoadRPS  float64 `json:"load_rps"`
+
+	Latency   Latency `json:"latency"`
+	EnergyJ   float64 `json:"energy_j"`
+	AvgPowerW float64 `json:"avg_power_w"`
+	ServedRPS float64 `json:"served_rps"`
+
+	Sent        int64 `json:"sent"`
+	Completed   int64 `json:"completed"`
+	Retransmits int64 `json:"retransmits,omitempty"`
+	Abandoned   int64 `json:"abandoned,omitempty"`
+	RxDrops     int64 `json:"rx_drops"`
+	IRQs        int64 `json:"irqs"`
+
+	Faults *Faults `json:"faults,omitempty"`
+
+	// CStates maps "c1"/"c3"/"c6" to aggregate residency; encoding/json
+	// sorts map keys, so serialization order is stable.
+	CStates map[string]CState `json:"cstates,omitempty"`
+
+	Boosts              int64 `json:"boosts,omitempty"`
+	StepDowns           int64 `json:"stepdowns,omitempty"`
+	CITWakes            int64 `json:"cit_wakes,omitempty"`
+	PStateTransitions   int64 `json:"pstate_transitions,omitempty"`
+	GovernorInvocations int64 `json:"governor_invocations,omitempty"`
+
+	Events uint64 `json:"sim_events,omitempty"`
+
+	// Error carries a failed job's message; all measurements are zero.
+	Error string `json:"error,omitempty"`
+}
+
+// FromResult wraps one cluster.Result as a report Run.
+func FromResult(tag string, r cluster.Result) Run {
+	run := Run{
+		Tag:      tag,
+		Policy:   string(r.Policy),
+		Workload: r.Workload,
+		LoadRPS:  r.LoadRPS,
+		Latency: Latency{
+			Count:  r.Latency.Count,
+			MeanNs: int64(r.Latency.Mean),
+			P50Ns:  int64(r.Latency.P50),
+			P90Ns:  int64(r.Latency.P90),
+			P95Ns:  int64(r.Latency.P95),
+			P99Ns:  int64(r.Latency.P99),
+			MaxNs:  int64(r.Latency.Max),
+		},
+		EnergyJ:             r.EnergyJ,
+		AvgPowerW:           r.AvgPowerW,
+		ServedRPS:           r.ServedRPS,
+		Sent:                r.Sent,
+		Completed:           r.Completed,
+		Retransmits:         r.Retransmits,
+		Abandoned:           r.Abandoned,
+		RxDrops:             r.RxDrops,
+		IRQs:                r.IRQs,
+		Boosts:              r.Boosts,
+		StepDowns:           r.StepDowns,
+		CITWakes:            r.CITWakes,
+		PStateTransitions:   r.PStateTransitions,
+		GovernorInvocations: r.GovernorInvocations,
+		Events:              r.Events,
+	}
+	if r.FaultDrops|r.CorruptDrops|r.FaultDups|r.FaultDelays|r.DupSuppressed|r.DupResent != 0 {
+		run.Faults = &Faults{
+			Drops:         r.FaultDrops,
+			CorruptDrops:  r.CorruptDrops,
+			Dups:          r.FaultDups,
+			Delays:        r.FaultDelays,
+			DupSuppressed: r.DupSuppressed,
+			DupResent:     r.DupResent,
+		}
+	}
+	if len(r.CResidency) > 0 {
+		run.CStates = map[string]CState{}
+		for _, s := range []power.CState{power.C1, power.C3, power.C6} {
+			run.CStates[strings.ToLower(s.String())] = CState{
+				ResidencyNs: int64(r.CResidency[s]),
+				Entries:     r.CEntries[s],
+			}
+		}
+	}
+	return run
+}
+
+// FromOutcomes converts a runner batch to report Runs in the given
+// (submission) order, dropping everything wall-clock-dependent. Failed
+// jobs become error rows so a report never silently loses a sweep point.
+func FromOutcomes(outcomes []runner.Outcome) []Run {
+	runs := make([]Run, 0, len(outcomes))
+	for _, o := range outcomes {
+		if o.Err != nil {
+			runs = append(runs, Run{
+				Tag:      o.Job.Tag,
+				Policy:   string(o.Job.Config.Policy),
+				Workload: o.Job.Config.Workload.Name,
+				LoadRPS:  o.Job.Config.LoadRPS,
+				Error:    o.Err.Error(),
+			})
+			continue
+		}
+		runs = append(runs, FromResult(o.Job.Tag, o.Result))
+	}
+	return runs
+}
+
+// AddOutcomes appends a batch's runs and folds its counts into the sweep
+// summary.
+func (r *Report) AddOutcomes(outcomes []runner.Outcome) {
+	if r.Sweep == nil {
+		r.Sweep = &SweepStats{}
+	}
+	r.Sweep.Jobs += len(outcomes)
+	for _, o := range outcomes {
+		if o.Err != nil {
+			r.Sweep.Failures++
+		}
+	}
+	r.Runs = append(r.Runs, FromOutcomes(outcomes)...)
+}
+
+// AddTelemetry attaches a telemetry sink's registry dump and event-trace
+// summary. A nil or disabled sink is a no-op.
+func (r *Report) AddTelemetry(tel *telemetry.Telemetry) {
+	if !tel.Enabled() {
+		return
+	}
+	r.Metrics = append(r.Metrics, tel.Registry().Export()...)
+	r.Events = SummarizeEvents(tel.Trace())
+}
+
+// AddSampler attaches a trace sampler's time series. Nil is a no-op.
+func (r *Report) AddSampler(s *trace.Sampler) {
+	r.Series = append(r.Series, SeriesFromSampler(s)...)
+}
+
+// WriteRow prints the run as a fixed-width table row, byte-identical to
+// cluster.Result.WriteRow for the same underlying result — the report is
+// the record; the text table is a view of it.
+func (r Run) WriteRow(w io.Writer) {
+	fmt.Fprintf(w, "%-10s %-10s %8.0f  p50=%8.3fms p95=%8.3fms p99=%8.3fms  E=%7.2fJ P=%6.2fW  served=%7.0f/s drops=%d\n",
+		r.Policy, r.Workload, r.LoadRPS,
+		sim.Duration(r.Latency.P50Ns).Millis(),
+		sim.Duration(r.Latency.P95Ns).Millis(),
+		sim.Duration(r.Latency.P99Ns).Millis(),
+		r.EnergyJ, r.AvgPowerW, r.ServedRPS, r.RxDrops)
+}

@@ -63,5 +63,11 @@ func (j Job) Key() string {
 
 // Cacheable reports whether the job's result can be memoized on disk.
 // Trace-sampling runs carry a live *trace.Sampler whose time series the
-// cache does not serialize, so they always execute.
-func (j Job) Cacheable() bool { return j.Config.TraceInterval == 0 }
+// cache does not serialize, and telemetry-carrying runs exist to populate
+// a live sink (metrics registry, event trace) a cached Result cannot
+// refill — both always execute. Config.Telemetry is likewise excluded
+// from Key (json:"-"): a handle is identity-free, so attaching one must
+// not change which cache entry the config denotes.
+func (j Job) Cacheable() bool {
+	return j.Config.TraceInterval == 0 && j.Config.Telemetry == nil
+}

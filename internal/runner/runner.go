@@ -40,6 +40,10 @@ type Options struct {
 	// RetryBackoff is the delay before the first retry (doubling per
 	// attempt); zero selects 100 ms.
 	RetryBackoff time.Duration
+	// Record keeps every Outcome of every Run for later export (see
+	// Outcomes). Off by default: a long-lived pool recording forever
+	// would grow without bound.
+	Record bool
 }
 
 // defaultRetryBackoff is the first-retry delay when none is configured.
@@ -77,6 +81,12 @@ type Pool struct {
 	cache *cache
 
 	jobs, ran, hits, retries, fails atomic.Int64
+
+	// recorded accumulates outcomes in submission order when Options.Record
+	// is set. Appended only after each batch's wg.Wait() (and under mu for
+	// RunOne), so the order is deterministic at any worker count.
+	mu       sync.Mutex
+	recorded []Outcome
 }
 
 // New creates a pool. An unusable cache directory disables caching and
@@ -148,13 +158,39 @@ func (p *Pool) Run(jobs []Job) []Outcome {
 	}
 	close(idx)
 	wg.Wait()
+	p.record(out)
 	return out
 }
 
 // RunOne executes a single job with the pool's isolation and caching.
 func (p *Pool) RunOne(job Job) Outcome {
 	p.jobs.Add(1)
-	return p.runOne(job)
+	o := p.runOne(job)
+	p.record([]Outcome{o})
+	return o
+}
+
+func (p *Pool) record(out []Outcome) {
+	if !p.opts.Record {
+		return
+	}
+	p.mu.Lock()
+	p.recorded = append(p.recorded, out...)
+	p.mu.Unlock()
+}
+
+// Outcomes returns every outcome recorded so far, in submission order
+// across batches. It returns nil unless Options.Record was set. The
+// returned slice is a copy; mutating it does not affect the pool.
+func (p *Pool) Outcomes() []Outcome {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.recorded == nil {
+		return nil
+	}
+	out := make([]Outcome, len(p.recorded))
+	copy(out, p.recorded)
+	return out
 }
 
 func (p *Pool) runOne(job Job) Outcome {

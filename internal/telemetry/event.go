@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ncap/internal/sim"
+)
+
+// EventsSchema stamps a JSONL event export's header line. Bump it when
+// the Event shape changes incompatibly.
+const EventsSchema = "ncap-events-v1"
+
+// Event is one typed trace record: a power transition, an interrupt, an
+// NCAP decision, a fault injection. Components emit events at the point
+// the simulated action happens, so the trace is totally ordered by
+// simulated time (ties in emission order).
+type Event struct {
+	// T is the simulated time in nanoseconds.
+	T sim.Time `json:"t_ns"`
+	// Comp names the emitting component ("cpu", "nic", "driver",
+	// "governor", "fault", "app").
+	Comp string `json:"comp"`
+	// Kind is the event type within the component, dotted lowercase
+	// ("cstate.enter", "ncap.high", "irq", "drop").
+	Kind string `json:"kind"`
+	// Core is the affected core, when one applies; -1 otherwise.
+	Core int `json:"core,omitempty"`
+	// V carries the event's scalar payload (a state index, an ICR value,
+	// a frequency in MHz, a duration in ns — Kind defines it).
+	V float64 `json:"v,omitempty"`
+	// Detail is an optional human-readable annotation.
+	Detail string `json:"detail,omitempty"`
+}
+
+// EventTrace is a fixed-capacity ring of Events: the newest Capacity
+// events are retained and older ones are overwritten, so a trace's
+// memory is bounded no matter how hot the run. Like the Registry it is
+// single-goroutine, owned by one simulation run.
+type EventTrace struct {
+	buf   []Event
+	next  int   // ring write cursor
+	total int64 // events ever emitted
+}
+
+// NewEventTrace returns a trace retaining the newest capacity events.
+func NewEventTrace(capacity int) *EventTrace {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &EventTrace{buf: make([]Event, 0, capacity)}
+}
+
+// Emit appends an event, overwriting the oldest once the ring is full.
+// Nil-safe: the disabled path is a single comparison.
+func (t *EventTrace) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.total++
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, e)
+		return
+	}
+	t.buf[t.next] = e
+	t.next = (t.next + 1) % len(t.buf)
+}
+
+// Len returns the number of retained events. Nil-safe.
+func (t *EventTrace) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.buf)
+}
+
+// Total returns the number of events ever emitted. Nil-safe.
+func (t *EventTrace) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.total
+}
+
+// Dropped returns how many events were overwritten. Nil-safe.
+func (t *EventTrace) Dropped() int64 { return t.Total() - int64(t.Len()) }
+
+// Events returns the retained events oldest-first. Nil-safe.
+func (t *EventTrace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// WriteJSONL exports the trace as JSON Lines: a schema-stamped header
+// object, then one event object per line, oldest first. Nil-safe: a nil
+// trace writes only the header.
+func (t *EventTrace) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "{\"schema\":%q,\"events\":%d,\"dropped\":%d}\n",
+		EventsSchema, t.Len(), t.Dropped()); err != nil {
+		return err
+	}
+	for _, e := range t.Events() {
+		blob, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		bw.Write(blob)
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

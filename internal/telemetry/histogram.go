@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+
+	"ncap/internal/sim"
+)
+
+// histBuckets is the number of power-of-two latency buckets: bucket i
+// holds observations in [2^(i-1), 2^i) nanoseconds (bucket 0 holds 0),
+// spanning 1 ns up past 2^62 ns — every representable sim.Duration.
+const histBuckets = 64
+
+// Histogram is a power-of-two-bucketed latency distribution: exact
+// count/sum/min/max with ~2x-resolution quantile buckets. Unlike the
+// exact stats.LatencyRecorder it is fixed-size, which is what a
+// telemetry dump wants: a stable, bounded, schema-friendly shape.
+type Histogram struct {
+	buckets  [histBuckets]int64
+	count    int64
+	sum      int64
+	min, max sim.Duration
+}
+
+// Record adds one observation. Negative durations are clamped to zero
+// (they indicate an upstream bug, but a telemetry sink must not panic a
+// run its host would otherwise complete). Nil-safe.
+func (h *Histogram) Record(d sim.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bits.Len64(uint64(d))%histBuckets]++
+	if h.count == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.count++
+	h.sum += int64(d)
+}
+
+// Reset zeroes the distribution (the warmup boundary). Nil-safe.
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	*h = Histogram{}
+}
+
+// Count returns the number of observations. Nil-safe.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// HistogramBucket is one non-empty bucket: Count observations were
+// strictly below UpperNs (and at or above the previous bucket's bound).
+type HistogramBucket struct {
+	UpperNs int64 `json:"upper_ns"`
+	Count   int64 `json:"count"`
+}
+
+// HistogramSnapshot is the exported distribution.
+type HistogramSnapshot struct {
+	Count   int64             `json:"count"`
+	SumNs   int64             `json:"sum_ns"`
+	MinNs   int64             `json:"min_ns"`
+	MaxNs   int64             `json:"max_ns"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot exports the distribution with only non-empty buckets, in
+// ascending bound order. Nil-safe.
+func (h *Histogram) Snapshot() *HistogramSnapshot {
+	if h == nil {
+		return nil
+	}
+	s := &HistogramSnapshot{Count: h.count, SumNs: h.sum, MinNs: int64(h.min), MaxNs: int64(h.max)}
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		upper := int64(1) << i // bucket i covers [2^(i-1), 2^i)
+		if i == 0 {
+			upper = 1 // bucket 0 holds only zero
+		} else if i >= 63 {
+			upper = math.MaxInt64
+		}
+		s.Buckets = append(s.Buckets, HistogramBucket{UpperNs: upper, Count: n})
+	}
+	return s
+}
