@@ -20,6 +20,7 @@ import (
 	"ncap/internal/core"
 	"ncap/internal/cpu"
 	"ncap/internal/experiments"
+	"ncap/internal/netsim"
 	"ncap/internal/power"
 	"ncap/internal/runner"
 	"ncap/internal/sim"
@@ -406,6 +407,7 @@ func BenchmarkRunnerParallel(b *testing.B) {
 // Substrate micro-benchmarks: the cost of the simulator itself.
 
 func BenchmarkEngineEventThroughput(b *testing.B) {
+	b.ReportAllocs()
 	eng := sim.NewEngine()
 	var next func()
 	next = func() { eng.Schedule(sim.Microsecond, next) }
@@ -413,6 +415,94 @@ func BenchmarkEngineEventThroughput(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.Step()
+	}
+}
+
+// BenchmarkEngineScheduleArg is the closure-free fast path: steady-state
+// schedule+fire through the pooled-event trampoline API. The regression
+// gate holds this at zero allocs/op.
+func BenchmarkEngineScheduleArg(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.NewEngine()
+	var next func(any)
+	next = func(arg any) { eng.ScheduleArg(sim.Microsecond, next, arg) }
+	eng.ScheduleArg(0, next, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}
+
+// BenchmarkEngineCancelStorm measures eager cancellation: every op
+// schedules and immediately cancels a spread of events across the near
+// heap and several wheel levels — the NIC ITR / client RTO rearm pattern.
+func BenchmarkEngineCancelStorm(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.NewEngine()
+	nop := func(any) {}
+	delays := []sim.Duration{
+		500 * sim.Nanosecond,  // near heap
+		30 * sim.Microsecond,  // level 0
+		2 * sim.Millisecond,   // level 1
+		120 * sim.Millisecond, // level 2
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var hs [4]sim.Handle
+		for j, d := range delays {
+			hs[j] = eng.ScheduleArg(d, nop, nil)
+		}
+		for _, h := range hs {
+			h.Cancel()
+		}
+	}
+}
+
+// BenchmarkEngineMixedHorizonDrain schedules a burst spanning every wheel
+// level plus the overflow heap, then drains it — the cascade cost.
+func BenchmarkEngineMixedHorizonDrain(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.NewEngine()
+	nop := func(any) {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for lvl := uint(0); lvl < 48; lvl += 2 {
+			eng.ScheduleArg(sim.Duration(1)<<lvl, nop, nil)
+		}
+		for eng.Step() {
+		}
+	}
+}
+
+// benchSink drains delivered frames back to the packet pool.
+type benchSink struct{ n int }
+
+func (s *benchSink) Receive(p *netsim.Packet) { s.n++; p.Release() }
+
+// BenchmarkLinkSaturation pushes back-to-back frames through one link —
+// the enqueue/serialize/deliver/release cycle that dominates network-side
+// simulation time.
+func BenchmarkLinkSaturation(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.NewEngine()
+	s := &benchSink{}
+	l := netsim.NewLink(eng, netsim.DefaultLinkConfig(), s)
+	payload := []byte("GET /bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !l.Send(netsim.NewRequest(2, 1, uint64(i), payload)) {
+			b.Fatal("egress overflow despite draining")
+		}
+		// Keep the egress queue shallow so every frame pays the full
+		// enqueue/serialize/deliver cycle instead of being dropped.
+		for l.QueuedBytes() > 4096 {
+			eng.Step()
+		}
+	}
+	for eng.Step() {
+	}
+	if s.n == 0 {
+		b.Fatal("no deliveries")
 	}
 }
 

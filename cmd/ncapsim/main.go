@@ -45,7 +45,8 @@ func main() {
 	faults.Register()
 	out.Register(true)
 	flag.Parse()
-	out.StartPprof(tool)
+	stopProf := out.StartPprof(tool)
+	defer stopProf()
 
 	if *exp == "fig1" {
 		experiments.RenderFig1(os.Stdout)

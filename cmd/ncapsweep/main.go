@@ -58,7 +58,8 @@ func main() {
 	out.Register(false)
 	flag.Parse()
 	rn.Validate(tool)
-	out.StartPprof(tool)
+	stopProf := out.StartPprof(tool)
+	defer stopProf()
 
 	o := experiments.Quick()
 	if *full {

@@ -44,7 +44,8 @@ func main() {
 	)
 	output.Register(false)
 	flag.Parse()
-	output.StartPprof(tool)
+	stopProf := output.StartPprof(tool)
+	defer stopProf()
 	if *lossP < 0 || *lossP > 1 {
 		cliflags.Fatalf(tool, "-loss %v: must be a probability in [0,1]", *lossP)
 	}

@@ -16,6 +16,7 @@ type BulkSender struct {
 	dst      netsim.Addr
 	uplink   *netsim.Link
 	pktBytes int
+	payload  []byte // shared read-only across emitted frames
 	gap      sim.Duration
 	running  bool
 
@@ -34,9 +35,11 @@ func NewBulkSender(eng *sim.Engine, addr, dst netsim.Addr, uplink *netsim.Link, 
 	if gap < 1 {
 		gap = 1
 	}
+	payload := make([]byte, pktBytes)
+	copy(payload, "PUT /bulk-transfer")
 	return &BulkSender{
 		eng: eng, addr: addr, dst: dst, uplink: uplink,
-		pktBytes: pktBytes, gap: gap,
+		pktBytes: pktBytes, payload: payload, gap: gap,
 	}
 }
 
@@ -46,24 +49,24 @@ func (b *BulkSender) Start() {
 		return
 	}
 	b.running = true
-	b.eng.Schedule(b.gap, b.emit)
+	b.eng.ScheduleArg(b.gap, bulkEmit, b)
 }
 
 // Stop halts emission.
 func (b *BulkSender) Stop() { b.running = false }
 
+// bulkEmit is the allocation-free rearm trampoline (arg is the *BulkSender).
+func bulkEmit(arg any) { arg.(*BulkSender).emit() }
+
 func (b *BulkSender) emit() {
 	if !b.running {
 		return
 	}
-	payload := make([]byte, b.pktBytes)
-	copy(payload, "PUT /bulk-transfer")
-	pkt := &netsim.Packet{
-		Src: b.addr, Dst: b.dst, Kind: netsim.KindBulk,
-		Payload: payload, PayloadLen: b.pktBytes,
-		Seg: 0, SegCount: 1,
-	}
+	pkt := netsim.AllocPacket()
+	pkt.Src, pkt.Dst, pkt.Kind = b.addr, b.dst, netsim.KindBulk
+	pkt.Payload, pkt.PayloadLen = b.payload, b.pktBytes
+	pkt.Seg, pkt.SegCount = 0, 1
 	b.uplink.Send(pkt)
 	b.Packets.Inc()
-	b.eng.Schedule(b.gap, b.emit)
+	b.eng.ScheduleArg(b.gap, bulkEmit, b)
 }

@@ -114,7 +114,7 @@ func (c *Client) Start() {
 		return
 	}
 	c.running = true
-	c.eng.Schedule(c.cfg.StartOffset, c.burst)
+	c.eng.ScheduleArg(c.cfg.StartOffset, clientBurst, c)
 }
 
 // Stop halts burst emission (outstanding requests keep completing).
@@ -133,18 +133,23 @@ func (c *Client) BeginMeasurement() {
 	c.CorruptDrops.Reset()
 }
 
+// clientBurst and clientSendNew are the allocation-free trampolines for
+// the per-burst and per-request schedule paths (arg is the *Client).
+func clientBurst(arg any)   { arg.(*Client).burst() }
+func clientSendNew(arg any) { arg.(*Client).sendNew() }
+
 func (c *Client) burst() {
 	if !c.running {
 		return
 	}
 	for i := 0; i < c.cfg.BurstSize; i++ {
 		delay := sim.Duration(i) * c.cfg.Spacing
-		c.eng.Schedule(delay, c.sendNew)
+		c.eng.ScheduleArg(delay, clientSendNew, c)
 	}
 	// Small deterministic jitter (±5%) keeps multi-client bursts from
 	// locking into perfect alignment.
 	jitter := c.rng.Duration(0, c.cfg.Period/10) - c.cfg.Period/20
-	c.eng.Schedule(c.cfg.Period+jitter, c.burst)
+	c.eng.ScheduleArg(c.cfg.Period+jitter, clientBurst, c)
 }
 
 func (c *Client) sendNew() {
@@ -211,8 +216,10 @@ func (c *Client) timeout(id uint64) {
 
 // Receive implements netsim.Receiver for response segments. Corrupt
 // frames fail the client NIC's FCS check and are dropped; the RTO path
-// recovers the request.
+// recovers the request. The client is each delivered frame's final owner
+// and releases it to the pool on every path.
 func (c *Client) Receive(p *netsim.Packet) {
+	defer p.Release()
 	if p.Corrupt {
 		c.CorruptDrops.Inc()
 		return

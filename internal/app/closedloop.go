@@ -86,9 +86,14 @@ func (c *ClosedLoopClient) send() {
 	c.uplink.Send(netsim.NewRequest(c.addr, c.server, id, c.payload))
 }
 
+// closedLoopSend issues the next request after think time (arg is the
+// *ClosedLoopClient).
+func closedLoopSend(arg any) { arg.(*ClosedLoopClient).send() }
+
 // Receive implements netsim.Receiver. Multi-segment responses complete on
-// the final segment.
+// the final segment. Delivered frames are released on every path.
 func (c *ClosedLoopClient) Receive(p *netsim.Packet) {
+	defer p.Release()
 	if p.Kind != netsim.KindResponse || p.Seg != p.SegCount-1 {
 		return
 	}
@@ -106,7 +111,7 @@ func (c *ClosedLoopClient) Receive(p *netsim.Packet) {
 	}
 	// The defining closed-loop property: issuance waits for completion.
 	if c.think > 0 {
-		c.eng.Schedule(c.rng.Exp(c.think), c.send)
+		c.eng.ScheduleArg(c.rng.Exp(c.think), closedLoopSend, c)
 	} else {
 		c.send()
 	}

@@ -86,10 +86,11 @@ func (s *Server) Disk() *Disk { return s.disk }
 func (s *Server) HandleDelivered(p *netsim.Packet, pollCore int) {
 	if p.Kind != netsim.KindRequest {
 		s.Ignored.Inc()
+		p.Release()
 		return
 	}
 	if s.Dedup && s.absorbDuplicate(p, pollCore) {
-		return
+		return // absorbDuplicate released the packet
 	}
 	s.Inflight++
 	cycles := s.profile.ParseCycles + s.serviceCycles()
@@ -118,6 +119,7 @@ func (s *Server) finish(req *netsim.Packet, coreID int) {
 		s.rememberServed(req.ReqID, body)
 	}
 	segs := netsim.SegmentResponse(s.addr, req.Src, req.ReqID, body)
+	req.Release()
 	s.drv.Send(coreID, segs)
 }
 
@@ -133,12 +135,17 @@ func (s *Server) absorbDuplicate(p *netsim.Packet, pollCore int) bool {
 	}
 	if s.dupInflight[p.ReqID] {
 		s.DupSuppressed.Inc()
+		p.Release()
 		return true
 	}
 	if body, ok := s.dupServed[p.ReqID]; ok {
 		s.DupResent.Inc()
+		// Copy the routing fields out: the packet is released now, before
+		// the deferred resend task runs.
+		src, reqID := p.Src, p.ReqID
+		p.Release()
 		resend := func(coreID int) {
-			segs := netsim.SegmentResponse(s.addr, p.Src, p.ReqID, body)
+			segs := netsim.SegmentResponse(s.addr, src, reqID, body)
 			s.drv.Send(coreID, segs)
 		}
 		if s.Affine {

@@ -12,6 +12,9 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 	"time"
 
 	"ncap/internal/app"
@@ -196,18 +199,52 @@ func (o *Output) Register(traceOut bool) {
 	if traceOut {
 		flag.StringVar(&o.TraceOut, "trace-out", "", "write the telemetry event trace as JSONL to this path (enables telemetry)")
 	}
-	flag.StringVar(&o.Pprof, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the life of the process")
+	flag.StringVar(&o.Pprof, "pprof", "", "profiling: an address containing ':' (e.g. localhost:6060) serves net/http/pprof; any other value is a file prefix capturing <prefix>.cpu.pprof and <prefix>.mem.pprof for the run")
 }
 
-// StartPprof starts the profiling endpoint when -pprof was given. It
-// returns immediately; the server runs until the process exits.
-func (o *Output) StartPprof(tool string) {
+// StartPprof starts profiling when -pprof was given and returns the stop
+// function the tool must call (normally via defer) before its successful
+// exit. An address containing ':' serves the net/http/pprof endpoint for
+// the life of the process (stop is a no-op). Any other value is a file
+// prefix: CPU profiling starts now and stop writes <prefix>.cpu.pprof
+// and a heap snapshot to <prefix>.mem.pprof — error paths that os.Exit
+// early lose the capture, which is fine for a failed run.
+func (o *Output) StartPprof(tool string) (stop func()) {
+	stop = func() {}
 	if o.Pprof == "" {
-		return
+		return stop
 	}
-	go func() {
-		if err := http.ListenAndServe(o.Pprof, nil); err != nil {
+	if strings.Contains(o.Pprof, ":") {
+		go func() {
+			if err := http.ListenAndServe(o.Pprof, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: pprof: %v\n", tool, err)
+			}
+		}()
+		return stop
+	}
+	cpu, err := os.Create(o.Pprof + ".cpu.pprof")
+	if err != nil {
+		Fatalf(tool, "-pprof: %v", err)
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		Fatalf(tool, "-pprof: %v", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		if err := cpu.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: pprof: %v\n", tool, err)
 		}
-	}()
+		mem, err := os.Create(o.Pprof + ".mem.pprof")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: pprof: %v\n", tool, err)
+			return
+		}
+		runtime.GC() // flush dead objects so the heap profile shows live state
+		if err := pprof.WriteHeapProfile(mem); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: pprof: %v\n", tool, err)
+		}
+		if err := mem.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: pprof: %v\n", tool, err)
+		}
+	}
 }

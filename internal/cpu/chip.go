@@ -216,11 +216,16 @@ func (d *Domain) SetPState(ps power.PState) {
 	d.target = ps
 	if ps.MilliVolts > d.cur.MilliVolts {
 		ramp, _ := power.UpTransitionDelay(d.cur, ps)
-		d.chip.eng.Schedule(ramp, d.beginRelock)
+		d.chip.eng.ScheduleArg(ramp, domainBeginRelock, d)
 	} else {
 		d.beginRelock()
 	}
 }
+
+// Package-level trampolines (arg is the *Domain) keep the frequent DVFS
+// transitions off the closure-allocating schedule path.
+func domainBeginRelock(arg any)      { arg.(*Domain).beginRelock() }
+func domainFinishTransition(arg any) { arg.(*Domain).finishTransition() }
 
 // Boost requests an immediate transition to P0.
 func (d *Domain) Boost() { d.SetPState(d.chip.table.Max()) }
@@ -234,7 +239,7 @@ func (d *Domain) beginRelock() {
 	for _, core := range d.cores {
 		core.beginStall()
 	}
-	d.chip.eng.Schedule(power.PLLRelock, d.finishTransition)
+	d.chip.eng.ScheduleArg(power.PLLRelock, domainFinishTransition, d)
 }
 
 func (d *Domain) finishTransition() {

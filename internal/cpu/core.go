@@ -32,12 +32,15 @@ type Core struct {
 	running *Work
 	runFrom sim.Time // when the current execution slice started
 
-	doneEv *sim.Event
-	wakeEv *sim.Event
+	// Handles, not *sim.Event: the engine pools events, so only a Handle
+	// can be retained across fires without risking aliasing a reused one.
+	doneEv sim.Handle
+	wakeEv sim.Handle
 
 	cstate    power.CState
 	waking    bool
 	stalled   bool
+	lastSlept sim.Duration // duration of the sleep being exited (for OnWake)
 	sleepFrom sim.Time
 	entryMV   int // voltage when C1 was entered (C1 retains it)
 	decider   IdleDecider
@@ -155,15 +158,20 @@ func (c *Core) beginWake() {
 		T: now, Comp: "cpu", Kind: "cstate.exit", Core: c.id,
 		V: float64(slept), Detail: prev.String(),
 	})
-	c.wakeEv = c.chip.eng.Schedule(exit+power.MwaitWakeOverhead, func() {
-		c.waking = false
-		if c.decider != nil {
-			c.decider.OnWake(c, slept)
-		}
-		if !c.stalled {
-			c.dispatch()
-		}
-	})
+	c.lastSlept = slept
+	c.wakeEv = c.chip.eng.ScheduleArg(exit+power.MwaitWakeOverhead, coreFinishWake, c)
+}
+
+// coreFinishWake completes a C-state exit (arg is the *Core).
+func coreFinishWake(arg any) {
+	c := arg.(*Core)
+	c.waking = false
+	if c.decider != nil {
+		c.decider.OnWake(c, c.lastSlept)
+	}
+	if !c.stalled {
+		c.dispatch()
+	}
 }
 
 // KickIdle forces a sleeping core to exit its C-state and re-enter the
@@ -200,16 +208,19 @@ func (c *Core) start(w *Work) {
 	c.running = w
 	c.runFrom = now
 	c.Dispatched.Inc()
-	c.doneEv = c.chip.eng.Schedule(cyclesToDur(w.Cycles, c.dom.cur.MHz), c.complete)
+	c.doneEv = c.chip.eng.ScheduleArg(cyclesToDur(w.Cycles, c.dom.cur.MHz), coreComplete, c)
 	c.chip.powerChanged()
 }
+
+// coreComplete finishes the running work item (arg is the *Core).
+func coreComplete(arg any) { arg.(*Core).complete() }
 
 func (c *Core) complete() {
 	now := c.chip.eng.Now()
 	w := c.running
 	c.busy += now - c.runFrom
 	c.running = nil
-	c.doneEv = nil
+	c.doneEv = sim.Handle{}
 	c.chip.powerChanged()
 	if w.OnDone != nil {
 		w.OnDone()
@@ -232,7 +243,7 @@ func (c *Core) pauseRunning(requeue bool) {
 		w.Cycles = 1 // rounding guard: finish on the next slice
 	}
 	c.doneEv.Cancel()
-	c.doneEv = nil
+	c.doneEv = sim.Handle{}
 	c.running = nil
 	if requeue {
 		c.queues[w.Prio] = append([]*Work{w}, c.queues[w.Prio]...)

@@ -286,6 +286,7 @@ func (c *queueCtx) poll() {
 func (c *queueCtx) processFrom(pkts []*netsim.Packet, i int) {
 	d := c.d
 	if i == len(pkts) {
+		c.q.Recycle(pkts)
 		if c.q.RxPending() > 0 {
 			c.napi.Raise()
 		} else {
@@ -319,8 +320,11 @@ func (d *Driver) Send(coreID int, pkts []*netsim.Packet) {
 	cycles := int64(len(pkts)) * d.cfg.txCycles()
 	d.k.SubmitSoftIRQOn(coreID, "net_tx", cycles, func() {
 		for _, p := range pkts {
+			// Transmit hands the packet to the link, which owns (and may
+			// release) it from then on — read the size first.
+			ws := p.WireSize()
 			if d.dev.Transmit(p) && d.swTxc != nil {
-				d.swTxc.Add(p.WireSize())
+				d.swTxc.Add(ws)
 			}
 		}
 	})

@@ -18,6 +18,7 @@ package fault
 
 import (
 	"fmt"
+	"sort"
 
 	"ncap/internal/sim"
 )
@@ -258,13 +259,13 @@ func (s Spec) Resolve(node uint32, dir Direction) Model {
 
 // Model is the resolved fault behavior of one unidirectional link.
 type Model struct {
-	Loss                                   LossModel
-	P                                      float64
-	GoodToBad, BadToGood                   float64
-	LossGood, LossBad                      float64
-	CorruptP, DupP, ReorderP               float64
-	ReorderMax, ExtraDelay                 sim.Duration
-	Down                                   []Window
+	Loss                     LossModel
+	P                        float64
+	GoodToBad, BadToGood     float64
+	LossGood, LossBad        float64
+	CorruptP, DupP, ReorderP float64
+	ReorderMax, ExtraDelay   sim.Duration
+	Down                     []Window
 }
 
 // Active reports whether the model perturbs anything.
@@ -292,10 +293,21 @@ type Action struct {
 // Injector applies a Model to a stream of frames. It is consulted once
 // per frame (Judge) in event order and owns a private random stream, so
 // its draws never perturb any other component's randomness.
+//
+// Everything derivable from the model is resolved at construction so the
+// per-frame path does no re-derivation: which fault classes are armed is
+// cached in flags, and the down windows are merged into a disjoint sorted
+// list walked by a cursor (Judge is called in nondecreasing event time,
+// so the cursor only moves forward).
 type Injector struct {
 	model Model
 	rng   *sim.Rand
 	bad   bool // Gilbert-Elliott state
+
+	// Hoisted per-frame decisions (fixed for the injector's lifetime).
+	doCorrupt, doDup, doReorder bool
+	down                        []Window // merged, disjoint, sorted by Start
+	downIdx                     int      // first window not yet fully in the past
 }
 
 // NewInjector returns an injector for the model, drawing from a stream
@@ -305,7 +317,38 @@ func NewInjector(m Model, seed uint64, name string) *Injector {
 	if !m.Active() {
 		return nil
 	}
-	return &Injector{model: m, rng: sim.NewRand(seed, "fault/"+name)}
+	return &Injector{
+		model:     m,
+		rng:       sim.NewRand(seed, "fault/"+name),
+		doCorrupt: m.CorruptP > 0,
+		doDup:     m.DupP > 0,
+		doReorder: m.ReorderP > 0 && m.ReorderMax > 0,
+		down:      mergeWindows(m.Down),
+	}
+}
+
+// mergeWindows sorts the windows by start and coalesces overlapping or
+// adjacent ones into a disjoint list. Judging against the merged list is
+// equivalent to scanning the originals: a frame drops iff any window
+// contains its time. The input slice is not modified.
+func mergeWindows(ws []Window) []Window {
+	if len(ws) == 0 {
+		return nil
+	}
+	out := make([]Window, len(ws))
+	copy(out, ws)
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	merged := out[:1]
+	for _, w := range out[1:] {
+		if last := &merged[len(merged)-1]; w.Start <= last.End {
+			if w.End > last.End {
+				last.End = w.End
+			}
+		} else {
+			merged = append(merged, w)
+		}
+	}
+	return merged
 }
 
 // Model returns the injector's resolved model.
@@ -314,14 +357,17 @@ func (in *Injector) Model() Model { return in.model }
 // Judge decides one frame's fate at simulated time now. Draw order is
 // fixed (loss state, loss, corruption, duplication, reordering) so the
 // stream consumption — and therefore the whole run — is deterministic.
+// Calls must come in nondecreasing now (the engine guarantees event
+// order), which lets the down-window check run off a forward cursor.
 func (in *Injector) Judge(now sim.Time) Action {
 	var act Action
 	m := &in.model
-	for _, w := range m.Down {
-		if w.Contains(now) {
-			act.Drop = true
-			return act
-		}
+	for in.downIdx < len(in.down) && now >= in.down[in.downIdx].End {
+		in.downIdx++
+	}
+	if in.downIdx < len(in.down) && now >= in.down[in.downIdx].Start {
+		act.Drop = true
+		return act
 	}
 	switch m.Loss {
 	case LossBernoulli:
@@ -348,14 +394,14 @@ func (in *Injector) Judge(now sim.Time) Action {
 			return act
 		}
 	}
-	if m.CorruptP > 0 && in.rng.Bool(m.CorruptP) {
+	if in.doCorrupt && in.rng.Bool(m.CorruptP) {
 		act.Corrupt = true
 	}
-	if m.DupP > 0 && in.rng.Bool(m.DupP) {
+	if in.doDup && in.rng.Bool(m.DupP) {
 		act.Duplicate = true
 	}
 	act.ExtraDelay = m.ExtraDelay
-	if m.ReorderP > 0 && m.ReorderMax > 0 && in.rng.Bool(m.ReorderP) {
+	if in.doReorder && in.rng.Bool(m.ReorderP) {
 		act.ExtraDelay += in.rng.Duration(1, m.ReorderMax)
 	}
 	return act

@@ -34,6 +34,13 @@ type Link struct {
 	busyTil sim.Time
 	queued  int // bytes committed to the egress buffer but not yet on the wire
 
+	// deq is a FIFO of wire sizes awaiting their dequeue events (one per
+	// committed frame, in serialization order). Keeping sizes here instead
+	// of capturing the packet in a dequeue closure lets frames be released
+	// to the pool the moment they are dropped or delivered.
+	deq     []int
+	deqHead int
+
 	// Bytes counts payload+header bytes successfully transmitted; Drops
 	// counts frames lost to a full egress buffer.
 	Bytes stats.Counter
@@ -73,29 +80,61 @@ func (l *Link) SetInjector(inj *fault.Injector) { l.inj = inj }
 // Injector returns the attached fault injector (nil on a perfect link).
 func (l *Link) Injector() *fault.Injector { return l.inj }
 
-// Send enqueues a frame for transmission. It returns false if the egress
-// buffer is full and the frame was dropped.
+// linkDequeue frees the head frame's egress-buffer reservation when its
+// serialization completes (arg is the *Link).
+func linkDequeue(arg any) {
+	l := arg.(*Link)
+	l.queued -= l.deq[l.deqHead]
+	l.deqHead++
+	if l.deqHead == len(l.deq) {
+		l.deq = l.deq[:0]
+		l.deqHead = 0
+	}
+}
+
+// linkDeliver hands an arrived frame to the link's receiver (a0 is the
+// *Link, a1 the *Packet).
+func linkDeliver(a0, a1 any) { a0.(*Link).dst.Receive(a1.(*Packet)) }
+
+// pushDeq appends a wire size to the dequeue FIFO, compacting the
+// consumed prefix once it dominates the slice.
+func (l *Link) pushDeq(ws int) {
+	if l.deqHead > 32 && l.deqHead*2 >= len(l.deq) {
+		n := copy(l.deq, l.deq[l.deqHead:])
+		l.deq = l.deq[:n]
+		l.deqHead = 0
+	}
+	l.deq = append(l.deq, ws)
+}
+
+// Send enqueues a frame for transmission, taking ownership of it: dropped
+// frames (egress overflow or fault loss) are released to the pool here,
+// delivered frames become the receiver's to release. It returns false if
+// the egress buffer is full and the frame was dropped.
 func (l *Link) Send(p *Packet) bool {
 	now := l.eng.Now()
 	if l.busyTil < now {
 		l.busyTil = now
 	}
-	if l.queued+p.WireSize() > l.cfg.QueueBytes && l.queued > 0 {
+	ws := p.WireSize()
+	if l.queued+ws > l.cfg.QueueBytes && l.queued > 0 {
 		l.Drops.Inc()
+		p.Release()
 		return false
 	}
-	txTime := l.serialization(p.WireSize())
-	l.queued += p.WireSize()
+	txTime := l.serialization(ws)
+	l.queued += ws
 	l.busyTil += txTime
 	arrival := l.busyTil + l.cfg.Latency
-	l.Bytes.Add(int64(p.WireSize()))
-	l.eng.At(l.busyTil, func() { l.queued -= p.WireSize() })
+	l.Bytes.Add(int64(ws))
+	l.pushDeq(ws)
+	l.eng.AtArg(l.busyTil, linkDequeue, l)
 	if l.inj != nil {
 		if !l.sendFaulty(p, arrival) {
 			return true // serialized, then lost on the medium
 		}
 	} else {
-		l.eng.At(arrival, func() { l.dst.Receive(p) })
+		l.eng.AtArg2(arrival, linkDeliver, l, p)
 	}
 	return true
 }
@@ -109,6 +148,7 @@ func (l *Link) sendFaulty(p *Packet, arrival sim.Time) bool {
 	if act.Drop {
 		l.FaultDrops.Inc()
 		l.emitFault("drop", float64(p.WireSize()))
+		p.Release()
 		return false
 	}
 	if act.Corrupt {
@@ -125,14 +165,15 @@ func (l *Link) sendFaulty(p *Packet, arrival sim.Time) bool {
 		l.emitFault("delay", float64(act.ExtraDelay))
 		arrival += act.ExtraDelay
 	}
-	l.eng.At(arrival, func() { l.dst.Receive(p) })
+	l.eng.AtArg2(arrival, linkDeliver, l, p)
 	if act.Duplicate {
 		l.FaultDups.Inc()
 		l.emitFault("dup", float64(p.WireSize()))
 		// The duplicate is its own frame instance trailing the original
 		// by one serialization slot (a retransmitting middlebox).
-		dup := *p
-		l.eng.At(arrival+l.serialization(p.WireSize()), func() { l.dst.Receive(&dup) })
+		dup := AllocPacket()
+		*dup = *p
+		l.eng.AtArg2(arrival+l.serialization(p.WireSize()), linkDeliver, l, dup)
 	}
 	return true
 }

@@ -19,6 +19,7 @@ func TestLinkFaultDropConsumesWire(t *testing.T) {
 	eng := sim.NewEngine()
 	l, s := faultyLink(eng, fault.Model{Loss: fault.LossBernoulli, P: 1})
 	p := NewRequest(2, 1, 1, []byte("GET /"))
+	ws := p.WireSize() // Send takes ownership; read the size first
 	if !l.Send(p) {
 		t.Fatal("physical-layer loss reported as an egress-buffer drop")
 	}
@@ -30,8 +31,8 @@ func TestLinkFaultDropConsumesWire(t *testing.T) {
 		t.Fatalf("drops: fault=%d queue=%d, want 1/0", l.FaultDrops.Value(), l.Drops.Value())
 	}
 	// The sender still spent the serialization slot: bytes count as sent.
-	if l.Bytes.Value() != int64(p.WireSize()) {
-		t.Fatalf("bytes = %d, want %d", l.Bytes.Value(), p.WireSize())
+	if l.Bytes.Value() != int64(ws) {
+		t.Fatalf("bytes = %d, want %d", l.Bytes.Value(), ws)
 	}
 }
 

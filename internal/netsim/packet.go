@@ -8,6 +8,7 @@ package netsim
 
 import (
 	"fmt"
+	"sync"
 
 	"ncap/internal/sim"
 )
@@ -82,18 +83,40 @@ type Packet struct {
 // WireSize returns the frame's size on the wire, headers included.
 func (p *Packet) WireSize() int { return HeaderBytes + p.PayloadLen }
 
+// packetPool recycles Packet structs so the steady-state send/receive path
+// stops churning the garbage collector. sync.Pool (rather than an
+// engine-owned free list) because the runner executes many independent
+// simulations concurrently; per-P caching keeps them from contending.
+var packetPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// AllocPacket returns a zeroed packet from the pool. Ownership follows the
+// frame: whoever holds the packet last releases it. Link.Send takes
+// ownership of every frame it is given (releasing on egress or fault
+// drops); receivers own delivered frames and must Release them — or pass
+// them on — on every path, including drops.
+func AllocPacket() *Packet { return packetPool.Get().(*Packet) }
+
+// Release returns p to the pool. The packet must not be referenced again.
+// Payload is a shared, sender-owned slice and is merely unreferenced, never
+// recycled.
+func (p *Packet) Release() {
+	*p = Packet{}
+	packetPool.Put(p)
+}
+
 // NewRequest builds a single-segment request packet whose payload begins
-// with the given method bytes (e.g. "GET / HTTP/1.1").
+// with the given method bytes (e.g. "GET / HTTP/1.1"). The packet comes
+// from the pool; it is released downstream by its final owner.
 func NewRequest(src, dst Addr, reqID uint64, payload []byte) *Packet {
-	return &Packet{
-		Src: src, Dst: dst, Kind: KindRequest,
-		Payload: payload, PayloadLen: len(payload),
-		ReqID: reqID, Seg: 0, SegCount: 1,
-	}
+	p := AllocPacket()
+	p.Src, p.Dst, p.Kind = src, dst, KindRequest
+	p.Payload, p.PayloadLen = payload, len(payload)
+	p.ReqID, p.Seg, p.SegCount = reqID, 0, 1
+	return p
 }
 
 // SegmentResponse splits a response body of the given size into MSS-sized
-// segments addressed from src to dst.
+// segments addressed from src to dst. The packets come from the pool.
 func SegmentResponse(src, dst Addr, reqID uint64, bodyBytes int) []*Packet {
 	if bodyBytes <= 0 {
 		bodyBytes = 1
@@ -107,11 +130,11 @@ func SegmentResponse(src, dst Addr, reqID uint64, bodyBytes int) []*Packet {
 			seg = remaining
 		}
 		remaining -= seg
-		pkts[i] = &Packet{
-			Src: src, Dst: dst, Kind: KindResponse,
-			PayloadLen: seg,
-			ReqID:      reqID, Seg: i, SegCount: n,
-		}
+		p := AllocPacket()
+		p.Src, p.Dst, p.Kind = src, dst, KindResponse
+		p.PayloadLen = seg
+		p.ReqID, p.Seg, p.SegCount = reqID, i, n
+		pkts[i] = p
 	}
 	return pkts
 }

@@ -41,17 +41,23 @@ func (s *Switch) Attach(addr Addr, cfg LinkConfig, node Receiver) *Link {
 // injectors for the switch→node direction attach here.
 func (s *Switch) Port(addr Addr) *Link { return s.ports[addr] }
 
+// switchForward hands a stored frame to its egress link (a0 is the *Link,
+// a1 the *Packet).
+func switchForward(a0, a1 any) { a0.(*Link).Send(a1.(*Packet)) }
+
 // Receive implements Receiver: frames entering the switch are forwarded to
 // the egress port for their destination after the forwarding delay.
+// Unroutable frames are released.
 func (s *Switch) Receive(p *Packet) {
 	out, ok := s.ports[p.Dst]
 	if !ok {
 		s.Unroutable.Inc()
+		p.Release()
 		return
 	}
 	s.Forwarded.Inc()
 	if s.fwDelay > 0 {
-		s.eng.Schedule(s.fwDelay, func() { out.Send(p) })
+		s.eng.ScheduleArg2(s.fwDelay, switchForward, out, p)
 	} else {
 		out.Send(p)
 	}

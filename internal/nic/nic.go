@@ -128,6 +128,7 @@ type Queue struct {
 	irq      func()
 
 	ready    []*netsim.Packet
+	bufs     [][]*netsim.Packet // free batch buffers for Poll (see Recycle)
 	inflight int
 
 	aitt *sim.Timer
@@ -188,6 +189,7 @@ func (n *NIC) steer(peer netsim.Addr) *Queue {
 func (n *NIC) Receive(p *netsim.Packet) {
 	if p.Corrupt {
 		n.RxCorruptDrops.Inc()
+		p.Release()
 		return
 	}
 	n.RxBytes.Add(int64(p.WireSize()))
@@ -202,14 +204,18 @@ func (n *NIC) Transmit(p *netsim.Packet) bool {
 		panic("nic: Transmit before SetLink")
 	}
 	p.SentAt = n.eng.Now()
+	// Size and destination are read before Send: the link owns the packet
+	// from then on and may have released it by the time Send returns.
+	ws := p.WireSize()
+	dst := p.Dst
 	if !n.link.Send(p) {
 		n.TxDrops.Inc()
 		return false
 	}
-	n.TxBytes.Add(int64(p.WireSize()))
+	n.TxBytes.Add(int64(ws))
 	n.TxPackets.Inc()
-	if q := n.steer(p.Dst); q.txc != nil {
-		q.txc.Add(p.WireSize())
+	if q := n.steer(dst); q.txc != nil {
+		q.txc.Add(ws)
 	}
 	return true
 }
@@ -312,6 +318,7 @@ func (q *Queue) receive(p *netsim.Packet) {
 	}
 	if len(q.ready)+q.inflight >= q.n.cfg.RxRing {
 		q.n.RxDrops.Inc()
+		p.Release()
 		return
 	}
 	q.inflight++
@@ -320,8 +327,12 @@ func (q *Queue) receive(p *netsim.Packet) {
 		q.n.dmaBusyTil = now
 	}
 	q.n.dmaBusyTil += q.n.cfg.DMASetup + q.n.transfer(p.WireSize())
-	q.n.eng.At(q.n.dmaBusyTil, func() { q.dmaComplete(p) })
+	q.n.eng.AtArg2(q.n.dmaBusyTil, queueDMAComplete, q, p)
 }
+
+// queueDMAComplete finishes a frame's DMA into main memory (a0 is the
+// *Queue, a1 the *Packet).
+func queueDMAComplete(a0, a1 any) { a0.(*Queue).dmaComplete(a1.(*netsim.Packet)) }
 
 func (q *Queue) inspect(p *netsim.Packet) {
 	if q.mon.Inspect(p.Payload) {
@@ -441,6 +452,10 @@ func (q *Queue) UnmaskRxIRQ() {
 func (q *Queue) RxPending() int { return len(q.ready) }
 
 // Poll removes and returns up to budget received packets (the NAPI poll).
+// The batch slice comes from a per-queue free list; callers that finish
+// with it should hand it back via Recycle so steady-state polling does not
+// allocate. Batches are independent: several may be in flight at once
+// (an urgent NCAP wake can start a new poll chain mid-batch).
 func (q *Queue) Poll(budget int) []*netsim.Packet {
 	if budget <= 0 || len(q.ready) == 0 {
 		return nil
@@ -448,11 +463,27 @@ func (q *Queue) Poll(budget int) []*netsim.Packet {
 	if budget > len(q.ready) {
 		budget = len(q.ready)
 	}
-	out := make([]*netsim.Packet, budget)
+	var out []*netsim.Packet
+	if n := len(q.bufs); n > 0 && cap(q.bufs[n-1]) >= budget {
+		out = q.bufs[n-1][:budget]
+		q.bufs[n-1] = nil
+		q.bufs = q.bufs[:n-1]
+	} else {
+		out = make([]*netsim.Packet, budget)
+	}
 	copy(out, q.ready[:budget])
 	rest := copy(q.ready, q.ready[budget:])
 	q.ready = q.ready[:rest]
 	return out
+}
+
+// Recycle returns a batch slice obtained from Poll to the queue's free
+// list. The caller must not use the slice afterwards.
+func (q *Queue) Recycle(batch []*netsim.Packet) {
+	if cap(batch) == 0 {
+		return
+	}
+	q.bufs = append(q.bufs, batch[:0])
 }
 
 // String aids debugging.

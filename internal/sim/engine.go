@@ -4,11 +4,21 @@
 // measured in integer nanoseconds (Time). Events scheduled for the same
 // instant fire in scheduling order, which — together with seeded random
 // streams (see rng.go) — makes every simulation bit-reproducible.
+//
+// The event queue is a hybrid of a hierarchical timer wheel (Varghese &
+// Lauck, as in kernel timers and Netty) and two exact (when, seq) min-heaps.
+// Events due within nearSpan of the wheel cursor live in the "near" heap,
+// which alone decides fire order; farther events sit in O(1) wheel buckets
+// and cascade toward the near heap as the cursor advances; events beyond the
+// wheel horizon (or behind the cursor) wait in an overflow heap. Fired and
+// canceled events return to a free list, so steady-state scheduling does not
+// allocate.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
+	"math/bits"
 )
 
 // Time is a simulated instant, in nanoseconds since the start of the run.
@@ -52,42 +62,155 @@ func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
 // Millis returns t as a floating-point number of milliseconds.
 func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
 
-// Event is a scheduled callback. It is returned by the scheduling methods
-// so callers can cancel it before it fires.
+// Timer-wheel geometry. Events within nearSpan (2^nearBits ns ≈ 4 µs) of
+// the wheel cursor go straight to the exact near heap. Above that, five
+// levels of 64 slots each cover spans of 2^18, 2^24, 2^30, 2^36 and 2^42 ns
+// (the last ≈ 73 simulated minutes); anything farther — or behind the
+// cursor — lands in the overflow heap.
+const (
+	nearBits    = 12
+	levelBits   = 6
+	wheelSlots  = 1 << levelBits
+	wheelLevels = 5
+	maxTime     = Time(math.MaxInt64)
+)
+
+// Where an event currently lives. Only inFree events may be handed out by
+// the pool, and Cancel/Pending treat inFree as "not scheduled".
+const (
+	inFree uint8 = iota
+	inNear
+	inWheel
+	inOverflow
+)
+
+// Event is a scheduled callback, owned by the engine's free-list pool.
+// The scheduling methods return *Event for transient cancellation only:
+// once the event has fired or been canceled the pointer may be recycled
+// for an unrelated callback, so callers that retain a reference across
+// fires must hold a Handle (see Schedule*/At* Handle variants) instead.
 type Event struct {
-	when     Time
-	seq      uint64 // tie-breaker: preserves scheduling order at equal times
-	index    int    // heap index, -1 once popped
-	canceled bool
-	fn       func()
+	when Time
+	seq  uint64 // tie-breaker: preserves scheduling order at equal times
+	gen  uint64 // incremented on recycle; validates Handles
+
+	// Container linkage: heap index for inNear/inOverflow, intrusive
+	// doubly-linked bucket list plus (level, slot) for inWheel. The free
+	// list reuses next.
+	index       int
+	next, prev  *Event
+	level, slot uint8
+	where       uint8
+
+	// Exactly one callback form is set: fn (closure path), afn+a0
+	// (one-argument fast path), or afn2+a0+a1 (two-argument fast path).
+	fn   func()
+	afn  func(any)
+	afn2 func(any, any)
+	a0   any
+	a1   any
+
+	eng *Engine
 }
 
 // When returns the simulated time the event will fire (or fired).
 func (e *Event) When() Time { return e.when }
 
-// Cancel prevents the event from firing. Canceling an already-fired or
+// Cancel prevents the event from firing, unlinks it from the queue
+// immediately, and recycles it. Canceling an already-fired or
 // already-canceled event is a no-op. Cancel reports whether the event was
 // still pending.
 func (e *Event) Cancel() bool {
-	if e == nil || e.canceled || e.index == -1 {
+	if e == nil || e.where == inFree {
 		return false
 	}
-	e.canceled = true
+	eng := e.eng
+	switch e.where {
+	case inNear:
+		eng.near.remove(e.index)
+	case inOverflow:
+		eng.overflow.remove(e.index)
+	case inWheel:
+		eng.unlinkBucket(e)
+	}
+	eng.pending--
+	eng.recycle(e)
 	return true
 }
 
-// Pending reports whether the event is scheduled and not canceled.
-func (e *Event) Pending() bool { return e != nil && !e.canceled && e.index != -1 }
+// Pending reports whether the event is scheduled and not canceled. After
+// the event fires the underlying storage may be reused; prefer Handle for
+// references held across fires.
+func (e *Event) Pending() bool { return e != nil && e.where != inFree }
+
+// Handle is a safe, value-type reference to a scheduled event. Unlike a
+// retained *Event it detects recycling: once the event fires or is
+// canceled, the handle reports not-pending forever, even after the pooled
+// storage is reused for an unrelated event. The zero Handle is valid and
+// not pending.
+type Handle struct {
+	ev  *Event
+	gen uint64
+}
+
+// live reports whether the handle still refers to its original scheduling.
+func (h Handle) live() bool { return h.ev != nil && h.ev.gen == h.gen && h.ev.where != inFree }
+
+// Pending reports whether the referenced event is still scheduled.
+func (h Handle) Pending() bool { return h.live() }
+
+// When returns the fire time of a still-pending event, or -1.
+func (h Handle) When() Time {
+	if !h.live() {
+		return -1
+	}
+	return h.ev.when
+}
+
+// Cancel cancels the referenced event if it is still pending and reports
+// whether it was.
+func (h Handle) Cancel() bool {
+	if !h.live() {
+		return false
+	}
+	return h.ev.Cancel()
+}
+
+// bucket is one timer-wheel slot: an intrusive doubly-linked event list.
+// Order within a bucket is irrelevant; the near heap restores the exact
+// (when, seq) order before anything fires.
+type bucket struct {
+	head, tail *Event
+}
+
+// wheelLevel is one ring of the hierarchical wheel. occupied has bit s set
+// iff slots[s] is non-empty, so finding the earliest bucket is one
+// TrailingZeros64.
+type wheelLevel struct {
+	occupied uint64
+	slots    [wheelSlots]bucket
+}
 
 // Engine is a discrete-event simulator. The zero value is not usable; call
 // NewEngine.
 type Engine struct {
 	now     Time
-	queue   eventHeap
 	seq     uint64
 	fired   uint64
+	pending int
 	running bool
 	stopped bool
+
+	// cur is the wheel cursor: a lower bound on every event reachable via
+	// the near heap or wheel (the overflow heap also takes events behind
+	// it). It can run ahead of now when a bounded Run stops before the
+	// next event.
+	cur      uint64
+	near     eventHeap
+	overflow eventHeap
+	levels   [wheelLevels]wheelLevel
+
+	free *Event // free-list of recycled events, linked through next
 }
 
 // NewEngine returns an empty engine at time 0.
@@ -101,9 +224,196 @@ func (e *Engine) Now() Time { return e.now }
 // Fired returns the number of events executed so far (a progress metric).
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending returns the number of events still queued, including canceled
-// events that have not yet been discarded.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of events still scheduled. Canceled events
+// are unlinked eagerly and never counted.
+func (e *Engine) Pending() int { return e.pending }
+
+// alloc hands out a pooled (or fresh) event for time t.
+func (e *Engine) alloc(t Time) *Event {
+	if t < e.now {
+		t = e.now
+	}
+	ev := e.free
+	if ev != nil {
+		e.free = ev.next
+		ev.next = nil
+	} else {
+		ev = &Event{eng: e}
+	}
+	ev.when = t
+	ev.seq = e.seq
+	e.seq++
+	return ev
+}
+
+// recycle returns a no-longer-queued event to the free list, invalidating
+// outstanding Handles and dropping callback references.
+func (e *Engine) recycle(ev *Event) {
+	ev.gen++
+	ev.where = inFree
+	ev.fn = nil
+	ev.afn = nil
+	ev.afn2 = nil
+	ev.a0 = nil
+	ev.a1 = nil
+	ev.prev = nil
+	ev.next = e.free
+	e.free = ev
+}
+
+// insert places an allocated event into the near heap, a wheel bucket, or
+// the overflow heap, according to its distance from the wheel cursor.
+// Callers account for pending.
+func (e *Engine) insert(ev *Event) {
+	w := uint64(ev.when)
+	if w < e.cur {
+		// Behind the cursor: possible when a bounded Run cascaded past
+		// `until` and a later call schedules between now and cur. The
+		// overflow heap accepts any time.
+		ev.where = inOverflow
+		e.overflow.push(ev)
+		return
+	}
+	diff := w ^ e.cur
+	if diff>>nearBits == 0 {
+		ev.where = inNear
+		e.near.push(ev)
+		return
+	}
+	lvl := (bits.Len64(diff) - nearBits - 1) / levelBits
+	if lvl >= wheelLevels {
+		ev.where = inOverflow
+		e.overflow.push(ev)
+		return
+	}
+	slot := (w >> (nearBits + uint(lvl)*levelBits)) & (wheelSlots - 1)
+	ev.where = inWheel
+	ev.level = uint8(lvl)
+	ev.slot = uint8(slot)
+	b := &e.levels[lvl].slots[slot]
+	ev.prev = b.tail
+	ev.next = nil
+	if b.tail != nil {
+		b.tail.next = ev
+	} else {
+		b.head = ev
+	}
+	b.tail = ev
+	e.levels[lvl].occupied |= 1 << slot
+}
+
+// unlinkBucket removes an inWheel event from its bucket list.
+func (e *Engine) unlinkBucket(ev *Event) {
+	b := &e.levels[ev.level].slots[ev.slot]
+	if ev.prev != nil {
+		ev.prev.next = ev.next
+	} else {
+		b.head = ev.next
+	}
+	if ev.next != nil {
+		ev.next.prev = ev.prev
+	} else {
+		b.tail = ev.prev
+	}
+	if b.head == nil {
+		e.levels[ev.level].occupied &^= 1 << ev.slot
+	}
+	ev.next = nil
+	ev.prev = nil
+}
+
+// cascade drains one wheel bucket and reinserts its events relative to the
+// advanced cursor. Every event moves to a lower level or the near heap,
+// because the cursor now shares its bucket's granule.
+func (e *Engine) cascade(lvl, slot int) {
+	b := &e.levels[lvl].slots[slot]
+	ev := b.head
+	b.head, b.tail = nil, nil
+	e.levels[lvl].occupied &^= 1 << uint(slot)
+	for ev != nil {
+		next := ev.next
+		ev.next, ev.prev = nil, nil
+		e.insert(ev)
+		ev = next
+	}
+}
+
+// popMin removes and returns the earliest event with when ≤ limit, or nil.
+// It cascades wheel buckets as needed; the near heap's exact (when, seq)
+// comparator is the only thing that ever decides order between events.
+func (e *Engine) popMin(limit Time) *Event {
+	for {
+		best := e.near.min()
+		if o := e.overflow.min(); o != nil && (best == nil || o.less(best)) {
+			best = o
+		}
+
+		// Earliest occupied wheel granule, if any.
+		gStart := uint64(math.MaxUint64)
+		gLvl, gSlot := -1, 0
+		for lvl := 0; lvl < wheelLevels; lvl++ {
+			occ := e.levels[lvl].occupied
+			if occ == 0 {
+				continue
+			}
+			shift := uint(nearBits + lvl*levelBits)
+			tz := bits.TrailingZeros64(occ)
+			start := ((e.cur>>shift)&^(wheelSlots-1) | uint64(tz)) << shift
+			if start < gStart {
+				gStart, gLvl, gSlot = start, lvl, tz
+			}
+		}
+
+		if gLvl >= 0 && (best == nil || gStart <= uint64(best.when)) {
+			// The earliest wheel bucket may hold the true minimum; its
+			// granule start is ≤ every event inside it, so advancing the
+			// cursor there is safe. But if even the granule start is past
+			// the limit, nothing eligible remains — return without
+			// disturbing the cursor.
+			if Time(gStart) > limit && (best == nil || best.when > limit) {
+				return nil
+			}
+			// Raise-only: the cursor never moves backward, which keeps it
+			// in the same wheel page as every occupied bucket (the
+			// invariant the granule-start computation above relies on).
+			if gStart > e.cur {
+				e.cur = gStart
+			}
+			e.cascade(gLvl, gSlot)
+			continue
+		}
+		if best == nil || best.when > limit {
+			return nil
+		}
+		if best.where == inNear {
+			e.near.remove(best.index)
+		} else {
+			e.overflow.remove(best.index)
+		}
+		if c := uint64(best.when); c > e.cur {
+			e.cur = c
+		}
+		e.pending--
+		return best
+	}
+}
+
+// fire recycles ev and runs its callback. Recycling first keeps the pool
+// hot when the callback immediately reschedules; Handles cannot observe
+// the reuse thanks to the generation counter.
+func (e *Engine) fire(ev *Event) {
+	fn, afn, afn2, a0, a1 := ev.fn, ev.afn, ev.afn2, ev.a0, ev.a1
+	e.recycle(ev)
+	e.fired++
+	switch {
+	case fn != nil:
+		fn()
+	case afn != nil:
+		afn(a0)
+	default:
+		afn2(a0, a1)
+	}
+}
 
 // Schedule runs fn after delay. A negative delay is treated as zero (fires
 // at the current time, after already-queued events for that time).
@@ -120,13 +430,58 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	if fn == nil {
 		panic("sim: At called with nil fn")
 	}
-	if t < e.now {
-		t = e.now
-	}
-	ev := &Event{when: t, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.queue, ev)
+	ev := e.alloc(t)
+	ev.fn = fn
+	e.insert(ev)
+	e.pending++
 	return ev
+}
+
+// ScheduleArg runs fn(arg) after delay (clamped at zero). Because fn is
+// typically a package-level function and arg a pointer, this path does not
+// allocate in steady state — unlike Schedule, whose closure usually does.
+func (e *Engine) ScheduleArg(delay Duration, fn func(any), arg any) Handle {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.AtArg(e.now+delay, fn, arg)
+}
+
+// AtArg runs fn(arg) at the absolute time t (clamped at the current time).
+func (e *Engine) AtArg(t Time, fn func(any), arg any) Handle {
+	if fn == nil {
+		panic("sim: AtArg called with nil fn")
+	}
+	ev := e.alloc(t)
+	ev.afn = fn
+	ev.a0 = arg
+	e.insert(ev)
+	e.pending++
+	return Handle{ev: ev, gen: ev.gen}
+}
+
+// ScheduleArg2 runs fn(a0, a1) after delay (clamped at zero), for
+// callbacks needing a receiver plus one argument without a closure.
+func (e *Engine) ScheduleArg2(delay Duration, fn func(any, any), a0, a1 any) Handle {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.AtArg2(e.now+delay, fn, a0, a1)
+}
+
+// AtArg2 runs fn(a0, a1) at the absolute time t (clamped at the current
+// time).
+func (e *Engine) AtArg2(t Time, fn func(any, any), a0, a1 any) Handle {
+	if fn == nil {
+		panic("sim: AtArg2 called with nil fn")
+	}
+	ev := e.alloc(t)
+	ev.afn2 = fn
+	ev.a0 = a0
+	ev.a1 = a1
+	e.insert(ev)
+	e.pending++
+	return Handle{ev: ev, gen: ev.gen}
 }
 
 // Run executes events until the queue drains or the clock would pass until.
@@ -139,19 +494,14 @@ func (e *Engine) Run(until Time) uint64 {
 	e.running = true
 	defer func() { e.running = false }()
 	var fired uint64
-	for len(e.queue) > 0 && !e.stopped {
-		next := e.queue[0]
-		if next.when > until {
+	for !e.stopped {
+		ev := e.popMin(until)
+		if ev == nil {
 			break
 		}
-		heap.Pop(&e.queue)
-		if next.canceled {
-			continue
-		}
-		e.now = next.when
-		next.fn()
+		e.now = ev.when
+		e.fire(ev)
 		fired++
-		e.fired++
 	}
 	if e.now < until && !e.stopped {
 		e.now = until
@@ -161,50 +511,99 @@ func (e *Engine) Run(until Time) uint64 {
 }
 
 // Step executes the single next pending event, if any, and reports whether
-// one was executed. Canceled events are discarded without counting.
+// one was executed.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		next := heap.Pop(&e.queue).(*Event)
-		if next.canceled {
-			continue
-		}
-		e.now = next.when
-		next.fn()
-		e.fired++
-		return true
+	ev := e.popMin(maxTime)
+	if ev == nil {
+		return false
 	}
-	return false
+	e.now = ev.when
+	e.fire(ev)
+	return true
 }
 
 // Stop makes the current Run return after the in-flight event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
-// eventHeap orders events by (when, seq).
+// eventHeap is a binary min-heap of events ordered by (when, seq), with
+// index maintenance for O(log n) removal by position.
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+func (a *Event) less(b *Event) bool {
+	if a.when != b.when {
+		return a.when < b.when
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// min returns the earliest event without removing it, or nil.
+func (h eventHeap) min() *Event {
+	if len(h) == 0 {
+		return nil
+	}
+	return h[0]
 }
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
+
+func (h *eventHeap) push(ev *Event) {
 	ev.index = len(*h)
 	*h = append(*h, ev)
+	h.siftUp(ev.index)
 }
-func (h *eventHeap) Pop() any {
+
+// remove deletes the event at heap position i.
+func (h *eventHeap) remove(i int) {
 	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+	n := len(old) - 1
+	old[i].index = -1
+	if i != n {
+		old[i] = old[n]
+		old[i].index = i
+	}
+	old[n] = nil
+	*h = old[:n]
+	if i != n {
+		if !h.siftDown(i) {
+			h.siftUp(i)
+		}
+	}
+}
+
+func (h eventHeap) siftUp(i int) {
+	ev := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !ev.less(h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		h[i].index = i
+		i = parent
+	}
+	h[i] = ev
+	ev.index = i
+}
+
+// siftDown reports whether the element moved (so remove can try siftUp).
+func (h eventHeap) siftDown(i int) bool {
+	ev := h[i]
+	start := i
+	n := len(h)
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && h[r].less(h[child]) {
+			child = r
+		}
+		if !h[child].less(ev) {
+			break
+		}
+		h[i] = h[child]
+		h[i].index = i
+		i = child
+	}
+	h[i] = ev
+	ev.index = i
+	return i > start
 }

@@ -3,9 +3,14 @@ package sim
 // Timer is a restartable one-shot timer bound to an engine, analogous to a
 // hardware countdown timer or a kernel hrtimer. The zero value is not
 // usable; create timers with NewTimer.
+//
+// Timers hold a Handle, not an *Event: the engine pools events, so a
+// retained pointer could outlive its scheduling and alias an unrelated
+// event. They also schedule through the argument fast path, so arming a
+// timer does not allocate.
 type Timer struct {
 	eng *Engine
-	ev  *Event
+	h   Handle
 	fn  func()
 }
 
@@ -17,16 +22,23 @@ func NewTimer(eng *Engine, fn func()) *Timer {
 	return &Timer{eng: eng, fn: fn}
 }
 
+// timerExpire is the shared expiry trampoline (arg is the *Timer).
+func timerExpire(arg any) {
+	t := arg.(*Timer)
+	t.h = Handle{}
+	t.fn()
+}
+
 // Arm (re)starts the timer to expire after d, canceling any pending expiry.
 func (t *Timer) Arm(d Duration) {
-	t.ev.Cancel()
-	t.ev = t.eng.Schedule(d, t.expire)
+	t.h.Cancel()
+	t.h = t.eng.ScheduleArg(d, timerExpire, t)
 }
 
 // ArmAt (re)starts the timer to expire at absolute time when.
 func (t *Timer) ArmAt(when Time) {
-	t.ev.Cancel()
-	t.ev = t.eng.At(when, t.expire)
+	t.h.Cancel()
+	t.h = t.eng.AtArg(when, timerExpire, t)
 }
 
 // ArmIfStopped starts the timer only if it is not already pending.
@@ -37,30 +49,25 @@ func (t *Timer) ArmIfStopped(d Duration) {
 }
 
 // Stop cancels a pending expiry. It reports whether the timer was pending.
-func (t *Timer) Stop() bool { return t.ev.Cancel() }
+func (t *Timer) Stop() bool {
+	stopped := t.h.Cancel()
+	t.h = Handle{}
+	return stopped
+}
 
 // Pending reports whether the timer is armed and has not fired.
-func (t *Timer) Pending() bool { return t.ev.Pending() }
+func (t *Timer) Pending() bool { return t.h.Pending() }
 
 // Deadline returns the expiry time of a pending timer, or -1 if stopped.
-func (t *Timer) Deadline() Time {
-	if !t.Pending() {
-		return -1
-	}
-	return t.ev.When()
-}
-
-func (t *Timer) expire() {
-	t.ev = nil
-	t.fn()
-}
+func (t *Timer) Deadline() Time { return t.h.When() }
 
 // Ticker invokes a callback at a fixed period, like a periodic kernel
-// timer. Unlike Timer it rearms itself automatically.
+// timer. Unlike Timer it rearms itself automatically, and like Timer its
+// rearm path does not allocate.
 type Ticker struct {
 	eng    *Engine
 	period Duration
-	ev     *Event
+	h      Handle
 	fn     func()
 }
 
@@ -75,18 +82,28 @@ func NewTicker(eng *Engine, period Duration, fn func()) *Ticker {
 	return &Ticker{eng: eng, period: period, fn: fn}
 }
 
+// tickerTick is the shared tick trampoline (arg is the *Ticker).
+func tickerTick(arg any) {
+	t := arg.(*Ticker)
+	t.h = t.eng.ScheduleArg(t.period, tickerTick, t)
+	t.fn()
+}
+
 // Start begins ticking; the first tick fires one period from now. Starting
 // a running ticker restarts its phase.
 func (t *Ticker) Start() {
-	t.ev.Cancel()
-	t.ev = t.eng.Schedule(t.period, t.tick)
+	t.h.Cancel()
+	t.h = t.eng.ScheduleArg(t.period, tickerTick, t)
 }
 
 // Stop halts the ticker.
-func (t *Ticker) Stop() { t.ev.Cancel() }
+func (t *Ticker) Stop() {
+	t.h.Cancel()
+	t.h = Handle{}
+}
 
 // Running reports whether the ticker is active.
-func (t *Ticker) Running() bool { return t.ev.Pending() }
+func (t *Ticker) Running() bool { return t.h.Pending() }
 
 // Period returns the tick period.
 func (t *Ticker) Period() Duration { return t.period }
@@ -97,9 +114,4 @@ func (t *Ticker) SetPeriod(p Duration) {
 		panic("sim: SetPeriod must be positive")
 	}
 	t.period = p
-}
-
-func (t *Ticker) tick() {
-	t.ev = t.eng.Schedule(t.period, t.tick)
-	t.fn()
 }
