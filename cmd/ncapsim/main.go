@@ -39,12 +39,18 @@ func main() {
 		verbose    = flag.Bool("v", false, "print extended counters")
 		cacheDir   = flag.String("cache", "", "result cache directory shared with ncapsweep (empty disables)")
 		timeout    = flag.Duration("timeout", 10*time.Minute, "wall-clock timeout (0 disables)")
+		auditOn    = flag.Bool("audit", false, "run with the runtime invariant auditor; violations are reported and fail the run")
+		checkpoint = flag.String("checkpoint", "", "atomically rewrite this JSON file with the completed result, for -resume")
+		resume     = flag.String("resume", "", "replay the result from this checkpoint file instead of re-running (requires -checkpoint)")
 		faults     cliflags.Faults
 		out        cliflags.Output
 	)
 	faults.Register()
 	out.Register(true)
 	flag.Parse()
+	if *resume != "" && *checkpoint == "" {
+		cliflags.Fatalf(tool, "-resume requires -checkpoint (point both at the same file to continue it)")
+	}
 	stopProf := out.StartPprof(tool)
 	defer stopProf()
 
@@ -81,7 +87,11 @@ func main() {
 		cfg.Telemetry = tel
 	}
 
-	pool := runner.New(runner.Options{Jobs: 1, CacheDir: *cacheDir, Timeout: *timeout})
+	pool := runner.New(runner.Options{
+		Jobs: 1, CacheDir: *cacheDir, Timeout: *timeout,
+		Audit: *auditOn, Checkpoint: *checkpoint, Resume: *resume,
+	})
+	cliflags.HandleSignals(tool, pool)
 	start := time.Now()
 	outc := pool.RunOne(runner.Job{
 		Tag:    fmt.Sprintf("%s/%s/%.0frps", cfg.Policy, cfg.Workload.Name, cfg.LoadRPS),
@@ -123,7 +133,9 @@ func main() {
 
 	if out.JSON != "" {
 		r := report.New(tool, "single")
-		r.Runs = append(r.Runs, report.FromResult(outc.Job.Tag, res))
+		run := report.FromResult(outc.Job.Tag, res)
+		run.Violations = outc.Violations
+		r.Runs = append(r.Runs, run)
 		r.AddTelemetry(tel)
 		if err := r.WriteFile(out.JSON); err != nil {
 			fmt.Fprintln(os.Stderr, "ncapsim:", err)
@@ -135,6 +147,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "ncapsim:", err)
 			os.Exit(1)
 		}
+	}
+	if cliflags.ReportViolations(os.Stderr, []runner.Outcome{outc}) {
+		os.Exit(1)
 	}
 }
 

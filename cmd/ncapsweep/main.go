@@ -26,6 +26,15 @@
 // -json writes a schema-stamped report with every run in submission
 // order; because runs are recorded in that order regardless of worker
 // interleaving, the report is byte-identical at any -jobs value too.
+//
+// -audit arms the runtime invariant auditor (packet conservation, pool
+// ownership, residency/energy accounting, queue structure, livelock);
+// violations print to stderr, land in the -json report, and force a
+// non-zero exit. -checkpoint atomically records each completed job;
+// -resume replays a checkpoint so an interrupted sweep continues with a
+// report byte-identical to an uninterrupted one. SIGINT/SIGTERM drain
+// gracefully (finish in-flight jobs, write a partial report marked
+// interrupted, exit 130).
 package main
 
 import (
@@ -67,8 +76,11 @@ func main() {
 	}
 	o.Seed = *seed
 
-	pool := runner.New(rn.Options(out.JSON != ""))
+	// -audit forces outcome recording even without -json: the violation
+	// summary below needs every outcome, not just the batch counters.
+	pool := runner.New(rn.Options(out.JSON != "" || rn.Audit))
 	o.Runner = pool
+	cliflags.HandleSignals(tool, pool)
 	start := time.Now()
 
 	profiles := cliflags.Workloads(tool, *workload)
@@ -131,7 +143,13 @@ func main() {
 			st.Jobs, st.Ran, st.CacheHits, st.Failures, pool.Workers(),
 			time.Since(start).Round(time.Millisecond))
 	}
-	if pool.Stats().Failures > 0 {
+	violated := rn.Audit && cliflags.ReportViolations(os.Stderr, pool.Outcomes())
+	if pool.Stopped() {
+		// Partial results (and the interrupted-flagged report) are already
+		// written; exit with the conventional SIGINT status.
+		os.Exit(cliflags.InterruptExitCode)
+	}
+	if pool.Stats().Failures > 0 || violated {
 		os.Exit(1)
 	}
 }

@@ -40,6 +40,9 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "simulation seed")
 		jobsN      = flag.Int("jobs", 2, "concurrent simulations (the -snapshot pair parallelizes)")
 		lossP      = flag.Float64("loss", 0, "Bernoulli frame-loss probability on the server access link — trace NCAP's behavior on a lossy fabric")
+		auditOn    = flag.Bool("audit", false, "run with the runtime invariant auditor; violations are reported and fail the run")
+		checkpoint = flag.String("checkpoint", "", "atomically rewrite this JSON file with completed results after every job, for -resume")
+		resume     = flag.String("resume", "", "replay completed jobs from this checkpoint file instead of re-running them (requires -checkpoint)")
 		output     cliflags.Output
 	)
 	output.Register(false)
@@ -49,6 +52,9 @@ func main() {
 	if *lossP < 0 || *lossP > 1 {
 		cliflags.Fatalf(tool, "-loss %v: must be a probability in [0,1]", *lossP)
 	}
+	if *resume != "" && *checkpoint == "" {
+		cliflags.Fatalf(tool, "-resume requires -checkpoint (point both at the same file to continue it)")
+	}
 
 	prof := cliflags.Workload(tool, *workload)
 	lvl := cliflags.Level(tool, *level)
@@ -57,8 +63,25 @@ func main() {
 	o.Seed = *seed
 	// The snapshot pair holds two independent simulations; a two-worker
 	// pool runs them concurrently (trace runs always execute — the result
-	// cache never serves them).
-	o.Runner = runner.New(runner.Options{Jobs: *jobsN})
+	// cache never serves them, and -checkpoint/-resume are accepted for
+	// flag uniformity but likewise never replay a traced run).
+	pool := runner.New(runner.Options{
+		Jobs: *jobsN, Audit: *auditOn, Checkpoint: *checkpoint, Resume: *resume,
+		Record: *auditOn,
+	})
+	o.Runner = pool
+	cliflags.HandleSignals(tool, pool)
+	// finish applies the audit and interruption exit contract shared with
+	// ncapsweep: violations → 1, graceful SIGINT/SIGTERM drain → 130.
+	finish := func() {
+		violated := *auditOn && cliflags.ReportViolations(os.Stderr, pool.Outcomes())
+		if pool.Stopped() {
+			os.Exit(cliflags.InterruptExitCode)
+		}
+		if violated {
+			os.Exit(1)
+		}
+	}
 
 	rep := report.New(tool, "trace")
 
@@ -69,6 +92,7 @@ func main() {
 		addTrace(rep, ond)
 		addTrace(rep, ncp)
 		writeReport(rep, output.JSON)
+		finish()
 		return
 	}
 
@@ -92,6 +116,7 @@ func main() {
 	writeTrace(tr, fileOrStdout(*out, string(policy)))
 	addTrace(rep, tr)
 	writeReport(rep, output.JSON)
+	finish()
 }
 
 // addTrace appends one traced run and its sampled series, prefixing each

@@ -1,0 +1,8 @@
+//go:build !audit
+
+package audit
+
+// Strict reports whether the binary was built with the audit tag. When
+// true, every cluster run audits itself and panics on any violation, so
+// `go test ./... -tags audit` fails loudly if an invariant regresses.
+const Strict = false

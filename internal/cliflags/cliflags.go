@@ -12,9 +12,11 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"ncap/internal/app"
@@ -77,11 +79,14 @@ func Level(tool, name string) cluster.LoadLevel {
 
 // Runner bundles the execution resource flags.
 type Runner struct {
-	Jobs    int
-	Cache   string
-	Timeout time.Duration
-	Retries int
-	Quiet   bool
+	Jobs       int
+	Cache      string
+	Timeout    time.Duration
+	Retries    int
+	Quiet      bool
+	Audit      bool
+	Checkpoint string
+	Resume     string
 }
 
 // Register installs the runner flags with the given default worker count.
@@ -91,6 +96,9 @@ func (r *Runner) Register(defaultJobs int) {
 	flag.DurationVar(&r.Timeout, "timeout", 10*time.Minute, "per-simulation wall-clock timeout (must be positive)")
 	flag.IntVar(&r.Retries, "retries", 1, "re-runs per timed-out/panicked job before it is reported failed")
 	flag.BoolVar(&r.Quiet, "q", false, "suppress progress output on stderr")
+	flag.BoolVar(&r.Audit, "audit", false, "run every simulation with the runtime invariant auditor; violations are reported and fail the run")
+	flag.StringVar(&r.Checkpoint, "checkpoint", "", "atomically rewrite this JSON file with completed results after every job, for -resume")
+	flag.StringVar(&r.Resume, "resume", "", "replay completed jobs from this checkpoint file instead of re-running them (requires -checkpoint)")
 }
 
 // Validate rejects nonsense resource limits up front: a zero or negative
@@ -104,6 +112,10 @@ func (r *Runner) Validate(tool string) {
 		Fatalf(tool, "-timeout %v: must be positive", r.Timeout)
 	case r.Retries < 0:
 		Fatalf(tool, "-retries %d: must be non-negative", r.Retries)
+	case r.Resume != "" && r.Checkpoint == "":
+		// Resuming without writing a new checkpoint would silently lose
+		// the ability to survive a second interruption mid-resume.
+		Fatalf(tool, "-resume requires -checkpoint (point both at the same file to continue it)")
 	}
 }
 
@@ -117,13 +129,53 @@ func (r *Runner) Options(record bool) runner.Options {
 		progress = os.Stderr
 	}
 	return runner.Options{
-		Jobs:     r.Jobs,
-		CacheDir: r.Cache,
-		Timeout:  r.Timeout,
-		Retries:  r.Retries,
-		Progress: progress,
-		Record:   record,
+		Jobs:       r.Jobs,
+		CacheDir:   r.Cache,
+		Timeout:    r.Timeout,
+		Retries:    r.Retries,
+		Progress:   progress,
+		Record:     record,
+		Audit:      r.Audit,
+		Checkpoint: r.Checkpoint,
+		Resume:     r.Resume,
 	}
+}
+
+// InterruptExitCode is the conventional "terminated by SIGINT" status
+// (128 + signal 2) the tools exit with after a graceful drain.
+const InterruptExitCode = 130
+
+// HandleSignals installs a SIGINT/SIGTERM handler that drains the pool
+// gracefully: dispatching stops, in-flight simulations finish, and the
+// tool writes whatever partial output it has (marked interrupted). A
+// second signal aborts immediately with InterruptExitCode.
+func HandleSignals(tool string, pool *runner.Pool) {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-ch
+		fmt.Fprintf(os.Stderr, "%s: %v: finishing in-flight simulations, writing partial results (repeat to abort)\n", tool, sig)
+		pool.Stop()
+		<-ch
+		os.Exit(InterruptExitCode)
+	}()
+}
+
+// ReportViolations prints an audited batch's invariant violations to w,
+// grouped under each failing job's tag, and reports whether any occurred.
+func ReportViolations(w io.Writer, outcomes []runner.Outcome) bool {
+	any := false
+	for _, o := range outcomes {
+		if len(o.Violations) == 0 {
+			continue
+		}
+		any = true
+		fmt.Fprintf(w, "audit: job %q: %d violation(s)\n", o.Job.Tag, len(o.Violations))
+		for _, v := range o.Violations {
+			fmt.Fprintf(w, "  %s\n", v)
+		}
+	}
+	return any
 }
 
 // Faults bundles the fault-injection flags, all applied to the server

@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"encoding/json"
+	"testing"
+
+	"ncap/internal/app"
+	"ncap/internal/fault"
+	"ncap/internal/sim"
+)
+
+func auditQuickCfg(policy Policy, load float64) Config {
+	cfg := DefaultConfig(policy, app.ApacheProfile(), load)
+	cfg.Warmup = 10 * sim.Millisecond
+	cfg.Measure = 30 * sim.Millisecond
+	cfg.Drain = 10 * sim.Millisecond
+	return cfg
+}
+
+// TestAuditResultByteIdentical: auditing is pure observation — the same
+// config produces a byte-identical Result (Events included) with the
+// auditor on or off, for every policy family.
+func TestAuditResultByteIdentical(t *testing.T) {
+	for _, pol := range []Policy{Perf, OndIdle, NcapSW, NcapAggr} {
+		cfg := auditQuickCfg(pol, 24_000)
+		plain := New(cfg).Run()
+		cfg.Audit = true
+		audited := New(cfg).Run()
+		a, _ := json.Marshal(plain)
+		b, _ := json.Marshal(audited)
+		if string(a) != string(b) {
+			t.Fatalf("%s: audited result differs:\n%s\n%s", pol, a, b)
+		}
+	}
+}
+
+// TestAuditCleanAcrossPolicies: unmutated simulations run violation-free
+// with the auditor watching, including a deliberately degraded fabric —
+// fault drops, FCS corruption and duplicate frames all balance in the
+// conservation ledger.
+func TestAuditCleanAcrossPolicies(t *testing.T) {
+	for _, pol := range []Policy{Perf, OndIdle, NcapSW, NcapCons, NcapAggr} {
+		cfg := auditQuickCfg(pol, 24_000)
+		cfg.Audit = true
+		cl := New(cfg)
+		cl.Run()
+		if vs := cl.AuditViolations(); len(vs) != 0 {
+			t.Fatalf("%s: violations on a clean run: %v", pol, vs)
+		}
+	}
+}
+
+func TestAuditCleanOnFaultedFabric(t *testing.T) {
+	cfg := auditQuickCfg(NcapCons, 24_000)
+	cfg.Audit = true
+	cfg.Fault.Links = []fault.LinkFault{{
+		Node: uint32(ServerAddr), Dir: fault.Both,
+		Loss: fault.LossBernoulli, P: 0.05, CorruptP: 0.02, DupP: 0.02,
+	}}
+	cl := New(cfg)
+	res := cl.Run()
+	if res.FaultDrops == 0 && res.CorruptDrops == 0 && res.FaultDups == 0 {
+		t.Fatal("fault injection inactive; the test proves nothing")
+	}
+	if vs := cl.AuditViolations(); len(vs) != 0 {
+		t.Fatalf("violations on a faulted-but-correct run: %v", vs)
+	}
+}
+
+// TestAuditViolationsEmptyWhenOff: without opt-in (and without the audit
+// build tag forcing strict mode) no violations are collected.
+func TestAuditViolationsEmptyWhenOff(t *testing.T) {
+	cl := New(auditQuickCfg(Perf, 24_000))
+	cl.Run()
+	if vs := cl.AuditViolations(); len(vs) != 0 {
+		t.Fatalf("violations without auditing: %v", vs)
+	}
+}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"ncap/internal/app"
+	"ncap/internal/audit"
 	"ncap/internal/core"
 	"ncap/internal/cpu"
 	"ncap/internal/driver"
@@ -50,6 +51,10 @@ type Cluster struct {
 	Ond     *governor.Ondemand
 	Menu    *governor.Menu
 	Sampler *trace.Sampler
+
+	// aud is the runtime invariant auditor (nil unless Config.Audit or
+	// the audit build tag enabled it).
+	aud *auditState
 }
 
 // chipState adapts the chip for core.DecisionEngine (chip-wide DVFS).
@@ -211,6 +216,12 @@ func New(cfg Config) *Cluster {
 	// Optional telemetry: registered last, once every component (NCAP
 	// blocks included) is assembled.
 	c.registerTelemetry()
+
+	// Optional invariant auditing; the audit build tag forces it on for
+	// every run so `go test ./... -tags audit` exercises the checks.
+	if cfg.Audit || audit.Strict {
+		c.enableAudit()
+	}
 	return c
 }
 

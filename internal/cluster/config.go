@@ -74,6 +74,14 @@ type Config struct {
 	// handle, not data: it is excluded from the runner's content-keyed
 	// cache identity, and telemetry-carrying jobs are never cached.
 	Telemetry *telemetry.Telemetry `json:"-"`
+	// Audit wires the runtime invariant auditor through every component
+	// (see internal/audit): packet conservation per link and NIC, pool
+	// ownership, residency and energy accounting, event-queue integrity,
+	// and a livelock watchdog, checked at periodic epochs and at a
+	// post-run quiescence point. Pure observation — the Result is
+	// byte-identical either way — so, like Telemetry, it is excluded from
+	// the cache identity and audited jobs are never cached.
+	Audit bool `json:"-"`
 }
 
 // DefaultBurstSize returns the per-client burst size that keeps the burst

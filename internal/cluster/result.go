@@ -100,6 +100,9 @@ func (c *Cluster) Run() Result {
 	if c.Sampler != nil {
 		c.Sampler.Start()
 	}
+	if c.aud != nil {
+		c.auditBoundary()
+	}
 
 	// Measured window: all machine-side accounting (energy, residencies,
 	// action counters) is snapshotted at its end.
@@ -120,6 +123,11 @@ func (c *Cluster) Run() Result {
 	}
 	c.eng.Run(measureEnd + cfg.Drain)
 	c.mergeClientStats(&res)
+	// Quiescence-dependent audit checks run last: the Result is fully
+	// collected, so the grace window they need cannot perturb it.
+	if c.aud != nil {
+		c.finalizeAudit()
+	}
 	return res
 }
 
@@ -143,6 +151,13 @@ func (c *Cluster) mergeClientStats(res *Result) {
 
 func (c *Cluster) collect(energyJ float64) Result {
 	cfg := c.cfg
+	// The audit epoch ticker fires as ordinary engine events; subtracting
+	// them keeps Events — and with it the whole Result — byte-identical
+	// between audited and unaudited runs (the ticks are pure observation).
+	events := c.eng.Fired()
+	if c.aud != nil {
+		events -= c.aud.ticks
+	}
 	merged := stats.NewRecorder()
 	var sent, completed, retrans, abandoned int64
 	for _, cl := range c.Clients {
@@ -174,7 +189,7 @@ func (c *Cluster) collect(energyJ float64) Result {
 		StepDowns:         c.Driver.StepDowns.Value(),
 		PStateTransitions: c.Chip.Transitions(),
 		Sampler:           c.Sampler,
-		Events:            c.eng.Fired(),
+		Events:            events,
 	}
 	for _, core := range c.Chip.Cores() {
 		for _, s := range []power.CState{power.C1, power.C3, power.C6} {

@@ -368,6 +368,15 @@ func (d *Driver) swActLow() {
 	}
 }
 
+// Quiesce stops the ncap.sw periodic decision timer so a drained
+// simulation reaches zero pending events. Only the audit finalizer calls
+// it, after the measurement has been collected.
+func (d *Driver) Quiesce() {
+	if d.swTimer != nil {
+		d.swTimer.Stop()
+	}
+}
+
 // ResetStats zeroes driver counters at the warmup boundary.
 func (d *Driver) ResetStats() {
 	d.Polls.Reset()

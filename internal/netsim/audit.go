@@ -1,0 +1,128 @@
+// Packet-ownership auditing: every frame entering an audited link is
+// adopted by a PacketAudit tracker, which then observes each Release.
+// Tracked packets never return to the global sync.Pool — the tracker owns
+// its own free list — so a double release or a use-after-release is
+// attributable to the component that last owned the frame, and frames
+// still live at quiescence are reported as leaks with their owner label.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"ncap/internal/audit"
+	"ncap/internal/sim"
+)
+
+// PacketAudit tracks the ownership of every packet that crosses an
+// audited link. It is single-threaded, like the engine that drives it.
+type PacketAudit struct {
+	a   *audit.Auditor
+	eng *sim.Engine
+
+	live map[*Packet]string // owner label of each live tracked packet
+	last map[*Packet]string // owner at release time, for double-release reports
+	free []*Packet
+
+	// Adopted counts first-time adoptions and tracker allocations;
+	// Released counts successful releases. Adopted - Released equals the
+	// number of live tracked packets.
+	Adopted  int64
+	Released int64
+}
+
+// NewPacketAudit returns a tracker reporting into a.
+func NewPacketAudit(eng *sim.Engine, a *audit.Auditor) *PacketAudit {
+	return &PacketAudit{
+		a:    a,
+		eng:  eng,
+		live: make(map[*Packet]string),
+		last: make(map[*Packet]string),
+	}
+}
+
+// adopt registers p as live under the given owner label. Re-adopting a
+// live packet (a frame transiting its second link) merely relabels it;
+// adopting a packet the tracker has already released is a
+// use-after-release violation.
+func (t *PacketAudit) adopt(p *Packet, owner string) {
+	if p.aud == t {
+		if _, ok := t.live[p]; !ok {
+			t.a.Report(owner, "packet-use-after-release", int64(t.eng.Now()),
+				"packet acquired before use",
+				fmt.Sprintf("released packet (last owner %s) re-sent", t.lastOwner(p)))
+			t.Adopted++ // treat as live again so accounting stays closed
+		}
+		t.live[p] = owner
+		return
+	}
+	p.aud = t
+	t.live[p] = owner
+	t.Adopted++
+}
+
+// allocPacket hands out a zeroed tracked packet owned by owner. The
+// tracker's free list is used before the global pool so released tracked
+// packets are reused here, keeping double releases detectable.
+func (t *PacketAudit) allocPacket(owner string) *Packet {
+	var p *Packet
+	if n := len(t.free); n > 0 {
+		p = t.free[n-1]
+		t.free = t.free[:n-1]
+	} else {
+		p = new(Packet)
+	}
+	p.aud = t
+	t.live[p] = owner
+	t.Adopted++
+	return p
+}
+
+// release is the tracked counterpart of Packet.Release, reached through
+// the packet's aud pointer.
+func (t *PacketAudit) release(p *Packet) {
+	owner, ok := t.live[p]
+	if !ok {
+		t.a.Report(t.lastOwner(p), "packet-double-release", int64(t.eng.Now()),
+			"exactly one release per acquired packet", "second release of the same packet")
+		return
+	}
+	delete(t.live, p)
+	t.last[p] = owner
+	*p = Packet{aud: t}
+	t.free = append(t.free, p)
+	t.Released++
+}
+
+// lastOwner names the component that most recently released p.
+func (t *PacketAudit) lastOwner(p *Packet) string {
+	if o, ok := t.last[p]; ok {
+		return o
+	}
+	return "netsim.packet"
+}
+
+// Live returns the number of tracked packets not yet released.
+func (t *PacketAudit) Live() int { return len(t.live) }
+
+// CheckLeaks reports every packet still live as a leak, aggregated per
+// owner label in sorted order so the report is deterministic. Call it
+// only at quiescence, when no frame can legitimately be in flight.
+func (t *PacketAudit) CheckLeaks() {
+	if len(t.live) == 0 {
+		return
+	}
+	counts := make(map[string]int)
+	for _, owner := range t.live {
+		counts[owner]++
+	}
+	owners := make([]string, 0, len(counts))
+	for o := range counts {
+		owners = append(owners, o)
+	}
+	sort.Strings(owners)
+	for _, o := range owners {
+		t.a.Report(o, "packet-leak", int64(t.eng.Now()),
+			"0 live packets at quiescence", fmt.Sprintf("%d unreleased", counts[o]))
+	}
+}

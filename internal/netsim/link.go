@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"ncap/internal/audit"
 	"ncap/internal/fault"
 	"ncap/internal/sim"
 	"ncap/internal/stats"
@@ -59,6 +60,18 @@ type Link struct {
 	// link in those events.
 	trace *telemetry.EventTrace
 	name  string
+
+	// Audit state (nil/zero outside audited runs). The aud* counters run
+	// from t=0 and are never reset — unlike the Fault* counters above,
+	// which reset at the measurement boundary while frames are in flight —
+	// so conservation holds exactly at quiescence:
+	//   audDelivered == audSent - audFaultDrops + audDups.
+	aud           *PacketAudit
+	audName       string
+	audSent       int64
+	audDelivered  int64
+	audFaultDrops int64
+	audDups       int64
 }
 
 // NewLink connects a new link to the destination receiver.
@@ -94,7 +107,32 @@ func linkDequeue(arg any) {
 
 // linkDeliver hands an arrived frame to the link's receiver (a0 is the
 // *Link, a1 the *Packet).
-func linkDeliver(a0, a1 any) { a0.(*Link).dst.Receive(a1.(*Packet)) }
+func linkDeliver(a0, a1 any) {
+	l := a0.(*Link)
+	if l.aud != nil {
+		l.audDelivered++
+	}
+	l.dst.Receive(a1.(*Packet))
+}
+
+// EnableAudit adopts every frame this link commits into the tracker and
+// keeps never-reset conservation counters, checked by AuditConservation.
+// name labels the link in violations (e.g. "link.from/node1").
+func (l *Link) EnableAudit(t *PacketAudit, name string) {
+	l.aud = t
+	l.audName = name
+}
+
+// AuditConservation verifies sent = delivered + fault-dropped - duplicated
+// over the whole run. Call it only at quiescence: frames still on the
+// wire would show up as missing deliveries.
+func (l *Link) AuditConservation(a *audit.Auditor) {
+	if l.aud == nil {
+		return
+	}
+	a.CheckInt("link."+l.audName, "packet-conservation", int64(l.eng.Now()),
+		l.audSent-l.audFaultDrops+l.audDups, l.audDelivered)
+}
 
 // pushDeq appends a wire size to the dequeue FIFO, compacting the
 // consumed prefix once it dominates the slice.
@@ -113,6 +151,9 @@ func (l *Link) pushDeq(ws int) {
 // the egress buffer is full and the frame was dropped.
 func (l *Link) Send(p *Packet) bool {
 	now := l.eng.Now()
+	if l.aud != nil {
+		l.aud.adopt(p, "link."+l.audName)
+	}
 	if l.busyTil < now {
 		l.busyTil = now
 	}
@@ -121,6 +162,9 @@ func (l *Link) Send(p *Packet) bool {
 		l.Drops.Inc()
 		p.Release()
 		return false
+	}
+	if l.aud != nil {
+		l.audSent++
 	}
 	txTime := l.serialization(ws)
 	l.queued += ws
@@ -147,6 +191,9 @@ func (l *Link) sendFaulty(p *Packet, arrival sim.Time) bool {
 	act := l.inj.Judge(l.eng.Now())
 	if act.Drop {
 		l.FaultDrops.Inc()
+		if l.aud != nil {
+			l.audFaultDrops++
+		}
 		l.emitFault("drop", float64(p.WireSize()))
 		p.Release()
 		return false
@@ -171,7 +218,16 @@ func (l *Link) sendFaulty(p *Packet, arrival sim.Time) bool {
 		l.emitFault("dup", float64(p.WireSize()))
 		// The duplicate is its own frame instance trailing the original
 		// by one serialization slot (a retransmitting middlebox).
-		dup := AllocPacket()
+		var dup *Packet
+		if l.aud != nil {
+			l.audDups++
+			// Allocate through the tracker so the duplicate is registered
+			// as live; copying *p would carry the aud pointer anyway, but
+			// only an allocPacket'd frame is in the live set.
+			dup = l.aud.allocPacket("link." + l.audName + "/dup")
+		} else {
+			dup = AllocPacket()
+		}
 		*dup = *p
 		l.eng.AtArg2(arrival+l.serialization(p.WireSize()), linkDeliver, l, dup)
 	}

@@ -78,6 +78,11 @@ type Packet struct {
 	// injection). The receiving NIC's FCS check detects it and drops the
 	// frame instead of delivering garbage upward.
 	Corrupt bool
+
+	// aud is the packet-ownership tracker this packet is registered with,
+	// or nil outside audited runs. Tracked packets are released to the
+	// tracker (which owns its own free list) instead of the global pool.
+	aud *PacketAudit
 }
 
 // WireSize returns the frame's size on the wire, headers included.
@@ -100,6 +105,10 @@ func AllocPacket() *Packet { return packetPool.Get().(*Packet) }
 // Payload is a shared, sender-owned slice and is merely unreferenced, never
 // recycled.
 func (p *Packet) Release() {
+	if p.aud != nil {
+		p.aud.release(p)
+		return
+	}
 	*p = Packet{}
 	packetPool.Put(p)
 }

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"strings"
 
+	"ncap/internal/audit"
 	"ncap/internal/core"
 	"ncap/internal/netsim"
 	"ncap/internal/sim"
@@ -113,6 +114,16 @@ type NIC struct {
 	// trace receives irq/ncap events when telemetry is enabled (see
 	// RegisterTelemetry); nil otherwise, and Emit no-ops.
 	trace *telemetry.EventTrace
+
+	// Audit state (nil/zero outside audited runs). Unlike the resettable
+	// stats counters above, the aud* counters run from t=0, so at
+	// quiescence every frame that arrived on the wire is accounted for:
+	//   audWire == audFCSDrops + audRingDrops + audPolled.
+	aud          *audit.Auditor
+	audWire      int64
+	audFCSDrops  int64
+	audRingDrops int64
+	audPolled    int64
 }
 
 // Queue is one receive queue: a descriptor ring, moderation timers, an
@@ -187,8 +198,14 @@ func (n *NIC) steer(peer netsim.Addr) *Queue {
 // inspection and before DMA, so a corrupted latency-critical request can
 // neither wake the processor nor reach the application.
 func (n *NIC) Receive(p *netsim.Packet) {
+	if n.aud != nil {
+		n.audWire++
+	}
 	if p.Corrupt {
 		n.RxCorruptDrops.Inc()
+		if n.aud != nil {
+			n.audFCSDrops++
+		}
 		p.Release()
 		return
 	}
@@ -222,6 +239,39 @@ func (n *NIC) Transmit(p *netsim.Packet) bool {
 
 func (n *NIC) transfer(bytes int) sim.Duration {
 	return sim.Duration(int64(bytes) * 8 * int64(sim.Second) / n.cfg.DMABandwidthBps)
+}
+
+// EnableAudit turns on the never-reset receive-path accounting checked by
+// AuditConservation.
+func (n *NIC) EnableAudit(a *audit.Auditor) { n.aud = a }
+
+// AuditConservation verifies that every frame that arrived on the wire
+// was FCS-dropped, ring-dropped, or handed to the driver by Poll, and
+// that no queue still holds frames. Call it only at quiescence — frames
+// mid-DMA or awaiting poll would show up as missing.
+func (n *NIC) AuditConservation() {
+	if n.aud == nil {
+		return
+	}
+	comp := "nic." + n.addr.String()
+	now := int64(n.eng.Now())
+	n.aud.CheckInt(comp, "packet-conservation", now,
+		n.audWire, n.audFCSDrops+n.audRingDrops+n.audPolled)
+	for _, q := range n.queues {
+		n.aud.CheckInt(comp, fmt.Sprintf("rxq%d-drained", q.id), now,
+			0, int64(len(q.ready)+q.inflight))
+	}
+}
+
+// Quiesce stops the moderation timers and NCAP tickers on every queue so
+// a drained simulation reaches zero pending events. Only the audit
+// finalizer calls it, after the measurement has been collected.
+func (n *NIC) Quiesce() {
+	for _, q := range n.queues {
+		q.aitt.Stop()
+		q.pitt.Stop()
+		q.mitt.Stop()
+	}
 }
 
 // ResetStats zeroes the counters at the warmup boundary.
@@ -318,6 +368,9 @@ func (q *Queue) receive(p *netsim.Packet) {
 	}
 	if len(q.ready)+q.inflight >= q.n.cfg.RxRing {
 		q.n.RxDrops.Inc()
+		if q.n.aud != nil {
+			q.n.audRingDrops++
+		}
 		p.Release()
 		return
 	}
@@ -474,6 +527,9 @@ func (q *Queue) Poll(budget int) []*netsim.Packet {
 	copy(out, q.ready[:budget])
 	rest := copy(q.ready, q.ready[budget:])
 	q.ready = q.ready[:rest]
+	if q.n.aud != nil {
+		q.n.audPolled += int64(budget)
+	}
 	return out
 }
 

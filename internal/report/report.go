@@ -13,10 +13,12 @@
 package report
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"strings"
 
+	"ncap/internal/audit"
 	"ncap/internal/cluster"
 	"ncap/internal/power"
 	"ncap/internal/runner"
@@ -41,6 +43,11 @@ type Report struct {
 	Experiment string `json:"experiment,omitempty"`
 	// Runs are the per-simulation results, in submission order.
 	Runs []Run `json:"runs"`
+	// Interrupted marks a partial document: the batch was stopped
+	// (SIGINT/SIGTERM) before every job dispatched. Undispatched jobs
+	// are absent from Runs — not failed — and a resumed sweep fills
+	// them in, producing a report without this flag.
+	Interrupted bool `json:"interrupted,omitempty"`
 	// Sweep summarizes the batch (deterministic counters only).
 	Sweep *SweepStats `json:"sweep,omitempty"`
 	// Metrics is the telemetry registry dump (sorted by name).
@@ -127,6 +134,12 @@ type Run struct {
 
 	Events uint64 `json:"sim_events,omitempty"`
 
+	// Violations are the invariant violations an audited run collected
+	// (see internal/audit); absent when auditing was off or the run was
+	// clean. Deterministic: the auditor observes the same simulation the
+	// Result measures.
+	Violations []audit.Violation `json:"violations,omitempty"`
+
 	// Error carries a failed job's message; all measurements are zero.
 	Error string `json:"error,omitempty"`
 }
@@ -188,9 +201,15 @@ func FromResult(tag string, r cluster.Result) Run {
 // FromOutcomes converts a runner batch to report Runs in the given
 // (submission) order, dropping everything wall-clock-dependent. Failed
 // jobs become error rows so a report never silently loses a sweep point.
+// Interrupted outcomes (runner.ErrInterrupted) are skipped entirely:
+// those jobs never ran, and their absence is what lets a resumed sweep's
+// report come out byte-identical to an uninterrupted one.
 func FromOutcomes(outcomes []runner.Outcome) []Run {
 	runs := make([]Run, 0, len(outcomes))
 	for _, o := range outcomes {
+		if errors.Is(o.Err, runner.ErrInterrupted) {
+			continue
+		}
 		if o.Err != nil {
 			runs = append(runs, Run{
 				Tag:      o.Job.Tag,
@@ -201,19 +220,26 @@ func FromOutcomes(outcomes []runner.Outcome) []Run {
 			})
 			continue
 		}
-		runs = append(runs, FromResult(o.Job.Tag, o.Result))
+		run := FromResult(o.Job.Tag, o.Result)
+		run.Violations = o.Violations
+		runs = append(runs, run)
 	}
 	return runs
 }
 
 // AddOutcomes appends a batch's runs and folds its counts into the sweep
-// summary.
+// summary. Interrupted outcomes set the report's Interrupted flag instead
+// of contributing rows or counts.
 func (r *Report) AddOutcomes(outcomes []runner.Outcome) {
 	if r.Sweep == nil {
 		r.Sweep = &SweepStats{}
 	}
-	r.Sweep.Jobs += len(outcomes)
 	for _, o := range outcomes {
+		if errors.Is(o.Err, runner.ErrInterrupted) {
+			r.Interrupted = true
+			continue
+		}
+		r.Sweep.Jobs++
 		if o.Err != nil {
 			r.Sweep.Failures++
 		}

@@ -68,7 +68,7 @@ var csvHeader = []string{
 	"sent", "completed", "retransmits", "abandoned", "rx_drops", "irqs",
 	"fault_drops", "fault_corrupt_drops", "fault_dups", "fault_delays", "dup_suppressed", "dup_resent",
 	"boosts", "stepdowns", "cit_wakes", "pstate_transitions", "governor_invocations",
-	"error",
+	"error", "violations",
 }
 
 // WriteCSV emits the runs as a flat CSV table (header + one row per run).
@@ -102,6 +102,7 @@ func (r *Report) WriteCSV(w io.Writer) error {
 			strconv.FormatInt(run.CITWakes, 10), strconv.FormatInt(run.PStateTransitions, 10),
 			strconv.FormatInt(run.GovernorInvocations, 10),
 			run.Error,
+			strconv.Itoa(len(run.Violations)),
 		}
 		if err := cw.Write(row); err != nil {
 			return fmt.Errorf("report: csv: %w", err)

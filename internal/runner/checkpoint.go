@@ -1,0 +1,128 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"ncap/internal/cluster"
+)
+
+// checkpointSchema tags checkpoint files. Bump it together with
+// schemaVersion: a checkpoint stores cluster.Results keyed by job content
+// keys, so any change that invalidates the cache invalidates checkpoints
+// for exactly the same reason.
+const checkpointSchema = "ncap-checkpoint-v1"
+
+// checkpointFile is the on-disk document: successful results keyed by
+// job content key. encoding/json sorts map keys, so the serialization is
+// deterministic for a given entry set.
+type checkpointFile struct {
+	Schema  string                    `json:"schema"`
+	Entries map[string]cluster.Result `json:"entries"`
+}
+
+// checkpoint persists completed-job results across process restarts. Every
+// add rewrites the whole file atomically (temp file + rename in the same
+// directory), so the file on disk is always a complete, parseable document
+// — a sweep killed mid-write leaves the previous checkpoint intact.
+//
+// Lookups consult only the entries loaded from the resume file, never the
+// ones added during this run: replay means "jobs finished before the
+// interruption", and must not turn duplicate configs within one batch
+// into surprise cache hits.
+type checkpoint struct {
+	path string // write target; empty disables writing (resume-only)
+
+	mu      sync.Mutex
+	resumed map[string]cluster.Result
+	entries map[string]cluster.Result
+}
+
+// openCheckpoint prepares a checkpoint writing to path (empty for
+// resume-only use) and seeded from the resume file (empty to start
+// fresh). A missing, unparseable or wrong-schema resume file is an error;
+// the caller decides whether to degrade to a fresh run.
+func openCheckpoint(path, resume string) (*checkpoint, error) {
+	ck := &checkpoint{
+		path:    path,
+		resumed: map[string]cluster.Result{},
+		entries: map[string]cluster.Result{},
+	}
+	if resume == "" {
+		return ck, nil
+	}
+	blob, err := os.ReadFile(resume)
+	if err != nil {
+		return nil, fmt.Errorf("runner: resume: %w", err)
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(blob, &f); err != nil {
+		return nil, fmt.Errorf("runner: resume %s: %w", resume, err)
+	}
+	if f.Schema != checkpointSchema {
+		return nil, fmt.Errorf("runner: resume %s has schema %q, this runner writes %q",
+			resume, f.Schema, checkpointSchema)
+	}
+	for k, v := range f.Entries {
+		ck.resumed[k] = v
+		ck.entries[k] = v
+	}
+	return ck, nil
+}
+
+// lookup returns the resumed result for a job key, if the interrupted run
+// completed it.
+func (ck *checkpoint) lookup(key string) (cluster.Result, bool) {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	res, ok := ck.resumed[key]
+	return res, ok
+}
+
+// add records a completed job and rewrites the checkpoint file.
+func (ck *checkpoint) add(key string, res cluster.Result) error {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	ck.entries[key] = res
+	if ck.path == "" {
+		return nil
+	}
+	return ck.flushLocked()
+}
+
+func (ck *checkpoint) flushLocked() error {
+	blob, err := json.Marshal(checkpointFile{Schema: checkpointSchema, Entries: ck.entries})
+	if err != nil {
+		return fmt.Errorf("runner: checkpoint: %w", err)
+	}
+	dir := filepath.Dir(ck.path)
+	if dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("runner: checkpoint: %w", err)
+		}
+	}
+	// Write-then-rename in the target directory: rename is atomic within
+	// a filesystem, so readers (and a crash) see the old or the new file,
+	// never a torn one.
+	tmp, err := os.CreateTemp(dir, filepath.Base(ck.path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("runner: checkpoint: %w", err)
+	}
+	if _, err := tmp.Write(append(blob, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), ck.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: checkpoint: %w", err)
+	}
+	return nil
+}

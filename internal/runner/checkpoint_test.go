@@ -1,0 +1,169 @@
+package runner
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ncap/internal/app"
+	"ncap/internal/cluster"
+)
+
+// TestCheckpointRoundTrip: a batch run with -checkpoint leaves a file a
+// second pool can resume from, replaying every job without re-executing.
+func TestCheckpointRoundTrip(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "ck.json")
+	jobs := tinyJobs()
+
+	first := New(Options{Jobs: 2, Checkpoint: ck})
+	for i, o := range first.Run(jobs) {
+		if o.Err != nil {
+			t.Fatalf("job %d: %v", i, o.Err)
+		}
+	}
+	blob, err := os.ReadFile(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(blob, &f); err != nil {
+		t.Fatalf("checkpoint is not valid JSON: %v", err)
+	}
+	if f.Schema != checkpointSchema || len(f.Entries) != len(jobs) {
+		t.Fatalf("checkpoint = schema %q, %d entries; want %q, %d",
+			f.Schema, len(f.Entries), checkpointSchema, len(jobs))
+	}
+
+	second := New(Options{Jobs: 2, Checkpoint: ck, Resume: ck})
+	for i, o := range second.Run(jobs) {
+		if o.Err != nil || !o.CacheHit || o.Attempts != 0 {
+			t.Fatalf("job %d not replayed: err=%v hit=%v attempts=%d", i, o.Err, o.CacheHit, o.Attempts)
+		}
+	}
+	if st := second.Stats(); st.Ran != 0 || st.CacheHits != int64(len(jobs)) {
+		t.Fatalf("resumed stats = %+v, want 0 ran / %d hits", st, len(jobs))
+	}
+}
+
+// TestResumeCompletesPartialBatch: resuming a checkpoint holding a prefix
+// of the batch replays exactly that prefix and executes the rest — the
+// interrupted-sweep recovery path, minus the interruption.
+func TestResumeCompletesPartialBatch(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "ck.json")
+	jobs := tinyJobs()
+	half := len(jobs) / 2
+
+	New(Options{Jobs: 2, Checkpoint: ck}).Run(jobs[:half])
+
+	pool := New(Options{Jobs: 2, Checkpoint: ck, Resume: ck})
+	out := pool.Run(jobs)
+	for i, o := range out {
+		if o.Err != nil {
+			t.Fatalf("job %d: %v", i, o.Err)
+		}
+		if replayed := i < half; o.CacheHit != replayed {
+			t.Fatalf("job %d: cache hit %v, want %v", i, o.CacheHit, replayed)
+		}
+	}
+	if st := pool.Stats(); st.Ran != int64(len(jobs)-half) {
+		t.Fatalf("ran = %d, want %d", st.Ran, len(jobs)-half)
+	}
+	// The continued checkpoint now covers the whole batch.
+	blob, err := os.ReadFile(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(blob, &f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Entries) != len(jobs) {
+		t.Fatalf("continued checkpoint has %d entries, want %d", len(f.Entries), len(jobs))
+	}
+}
+
+// TestResumedResultsMatchExecuted: a replayed Result is value-identical
+// to the executed one — resume must not launder precision through JSON.
+func TestResumedResultsMatchExecuted(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "ck.json")
+	jobs := tinyJobs()
+	ran := New(Options{Jobs: 2, Checkpoint: ck}).Run(jobs)
+	replayed := New(Options{Jobs: 2, Resume: ck, Checkpoint: ck}).Run(jobs)
+	for i := range jobs {
+		a, _ := json.Marshal(ran[i].Result)
+		b, _ := json.Marshal(replayed[i].Result)
+		if string(a) != string(b) {
+			t.Fatalf("job %d: replayed result differs:\n%s\n%s", i, a, b)
+		}
+	}
+}
+
+// TestResumeMissingFileDegradesGracefully: an unreadable resume file must
+// not fail the sweep — it runs from scratch (and still checkpoints).
+func TestResumeMissingFileDegradesGracefully(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "ck.json")
+	pool := New(Options{Jobs: 1, Checkpoint: ck, Resume: filepath.Join(dir, "absent.json")})
+	job := Job{Tag: "t", Config: tinyCfg(cluster.Perf, app.MemcachedProfile(), 35_000)}
+	if o := pool.RunOne(job); o.Err != nil || o.CacheHit {
+		t.Fatalf("outcome = err %v hit %v, want a clean fresh run", o.Err, o.CacheHit)
+	}
+	if _, err := os.Stat(ck); err != nil {
+		t.Fatalf("fresh run did not checkpoint: %v", err)
+	}
+}
+
+// TestStopBeforeRunInterruptsEverything: Stop is a standing order — a
+// batch submitted after it dispatches nothing.
+func TestStopBeforeRunInterruptsEverything(t *testing.T) {
+	pool := New(Options{Jobs: 2})
+	pool.Stop()
+	if !pool.Stopped() {
+		t.Fatal("Stopped() = false after Stop")
+	}
+	for i, o := range pool.Run(tinyJobs()) {
+		if !errors.Is(o.Err, ErrInterrupted) {
+			t.Fatalf("job %d: err = %v, want ErrInterrupted", i, o.Err)
+		}
+	}
+	if st := pool.Stats(); st.Ran != 0 {
+		t.Fatalf("ran = %d after pre-run Stop", st.Ran)
+	}
+}
+
+// stopAfterFirstWrite is a Progress writer that stops the pool the first
+// time the runner reports progress — i.e. right after the first job
+// completes (the progress reporter never throttles its first line).
+type stopAfterFirstWrite struct{ pool *Pool }
+
+func (w *stopAfterFirstWrite) Write(b []byte) (int, error) {
+	w.pool.Stop()
+	return len(b), nil
+}
+
+// TestStopMidRunDrainsGracefully: stopping after the first completion
+// finishes nothing further — completed jobs keep their results, every
+// remaining job carries ErrInterrupted, and the outcome slice still has
+// one entry per submitted job.
+func TestStopMidRunDrainsGracefully(t *testing.T) {
+	pool := New(Options{Jobs: 1})
+	pool.opts.Progress = &stopAfterFirstWrite{pool: pool}
+	jobs := tinyJobs()
+	out := pool.Run(jobs)
+	if len(out) != len(jobs) {
+		t.Fatalf("got %d outcomes for %d jobs", len(out), len(jobs))
+	}
+	if out[0].Err != nil || out[0].Result.Completed == 0 {
+		t.Fatalf("first job should have completed: err=%v", out[0].Err)
+	}
+	for i := 1; i < len(out); i++ {
+		if !errors.Is(out[i].Err, ErrInterrupted) {
+			t.Fatalf("job %d: err = %v, want ErrInterrupted", i, out[i].Err)
+		}
+	}
+	if !pool.Stopped() {
+		t.Fatal("pool not marked stopped")
+	}
+}

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -108,6 +109,33 @@ func TestZeroRetriesSingleAttempt(t *testing.T) {
 	}
 	if st := pool.Stats(); st.Retries != 0 {
 		t.Fatalf("retries = %d on a healthy job", st.Retries)
+	}
+}
+
+// TestWorkerPathPanicBecomesFailureRow: a panic on the worker's own path
+// — here job.Key() on a NaN/Inf config, reachable only with caching
+// enabled — used to escape runOne and crash the whole process, because
+// only the simulation goroutine inside execute had a recover. It must be
+// a failure row like any other, with Attempts set so the row cannot be
+// mistaken for a cache hit, and the rest of the batch must complete.
+func TestWorkerPathPanicBecomesFailureRow(t *testing.T) {
+	good := Job{Tag: "good", Config: tinyCfg(cluster.Perf, app.MemcachedProfile(), 35_000)}
+	bad := good
+	bad.Tag = "inf"
+	bad.Config.LoadRPS = math.Inf(1) // json.Marshal rejects Inf → Key() panics
+	pool := New(Options{Jobs: 1, CacheDir: t.TempDir(), Retries: 2, RetryBackoff: time.Microsecond})
+	out := pool.Run([]Job{bad, good})
+	if out[0].Err == nil || !strings.Contains(out[0].Err.Error(), "panicked") {
+		t.Fatalf("err = %v, want a panic failure row", out[0].Err)
+	}
+	if out[0].Attempts < 1 {
+		t.Fatalf("attempts = %d, want >= 1 (not a cache hit)", out[0].Attempts)
+	}
+	if out[1].Err != nil || out[1].Result.Completed == 0 {
+		t.Fatalf("healthy job after the panic: err=%v completed=%d", out[1].Err, out[1].Result.Completed)
+	}
+	if st := pool.Stats(); st.Failures != 1 {
+		t.Fatalf("failures = %d, want 1", st.Failures)
 	}
 }
 

@@ -65,9 +65,12 @@ func (j Job) Key() string {
 // Trace-sampling runs carry a live *trace.Sampler whose time series the
 // cache does not serialize, and telemetry-carrying runs exist to populate
 // a live sink (metrics registry, event trace) a cached Result cannot
-// refill — both always execute. Config.Telemetry is likewise excluded
-// from Key (json:"-"): a handle is identity-free, so attaching one must
-// not change which cache entry the config denotes.
+// refill — both always execute. Audited jobs (Config.Audit) also always
+// execute: replaying a stored Result would skip the invariant checks the
+// audit exists to run. Config.Telemetry and Config.Audit are likewise
+// excluded from Key (json:"-"): a handle is identity-free and auditing is
+// pure observation, so neither must change which cache entry the config
+// denotes.
 func (j Job) Cacheable() bool {
-	return j.Config.TraceInterval == 0 && j.Config.Telemetry == nil
+	return j.Config.TraceInterval == 0 && j.Config.Telemetry == nil && !j.Config.Audit
 }

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -9,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ncap/internal/audit"
 	"ncap/internal/cluster"
 )
 
@@ -44,7 +46,31 @@ type Options struct {
 	// Outcomes). Off by default: a long-lived pool recording forever
 	// would grow without bound.
 	Record bool
+	// Audit runs every job with the runtime invariant auditor wired
+	// through the simulator (see internal/audit). Auditing is pure
+	// observation — Results stay byte-identical — but audited jobs are
+	// never cached or checkpoint-replayed: a skipped job cannot vouch
+	// for its invariants. Violations land on Outcome.Violations.
+	Audit bool
+	// Checkpoint, when non-empty, names a JSON file atomically rewritten
+	// (temp file + rename) after every completed cacheable job with all
+	// successful results so far, so an interrupted sweep can be resumed.
+	// Only successes are stored: failure rows carry host-specific panic
+	// stacks that would break resume determinism, and re-running a
+	// failure is the point of trying again.
+	Checkpoint string
+	// Resume, when non-empty, replays a checkpoint file written by a
+	// previous run: a job whose result it holds is not re-executed and
+	// its Outcome is marked CacheHit, leaving reports byte-identical to
+	// an uninterrupted sweep. An unreadable file disables resume with a
+	// note on Progress; the sweep still runs, just from scratch.
+	Resume string
 }
+
+// ErrInterrupted marks a job the pool never dispatched because Stop was
+// called first. Report writers skip these outcomes: the rows are absent,
+// not failed, and a resumed sweep fills them in.
+var ErrInterrupted = errors.New("runner: interrupted before dispatch")
 
 // defaultRetryBackoff is the first-retry delay when none is configured.
 const defaultRetryBackoff = 100 * time.Millisecond
@@ -59,8 +85,12 @@ type Outcome struct {
 	CacheHit bool
 	Elapsed  time.Duration
 	// Attempts is how many times the job executed (1 + retries used).
-	// Zero for cache hits.
+	// Zero for cache hits; at least 1 on any failure, even one that
+	// never reached the simulator (a panic computing the cache key).
 	Attempts int
+	// Violations are the invariant violations an audited run collected
+	// (Options.Audit); nil when auditing is off or the run was clean.
+	Violations []audit.Violation
 }
 
 // Stats accumulates across every Run on a pool.
@@ -79,6 +109,12 @@ type Stats struct {
 type Pool struct {
 	opts  Options
 	cache *cache
+	ckpt  *checkpoint
+
+	// stop is closed by Stop: the feeder quits dispatching, in-flight
+	// jobs finish, and undispatched jobs get ErrInterrupted outcomes.
+	stop     chan struct{}
+	stopOnce sync.Once
 
 	jobs, ran, hits, retries, fails atomic.Int64
 
@@ -96,7 +132,7 @@ func New(opts Options) *Pool {
 	if opts.Jobs <= 0 {
 		opts.Jobs = runtime.GOMAXPROCS(0)
 	}
-	p := &Pool{opts: opts}
+	p := &Pool{opts: opts, stop: make(chan struct{})}
 	if opts.CacheDir != "" {
 		c, err := openCache(opts.CacheDir)
 		if err != nil {
@@ -108,7 +144,37 @@ func New(opts Options) *Pool {
 			p.cache = c
 		}
 	}
+	if opts.Checkpoint != "" || opts.Resume != "" {
+		ck, err := openCheckpoint(opts.Checkpoint, opts.Resume)
+		if err != nil {
+			// Same fallback contract as the cache: the sweep runs from
+			// scratch, which is slower but produces identical output.
+			if opts.Progress != nil {
+				fmt.Fprintf(opts.Progress, "runner: %v (checkpoint resume disabled)\n", err)
+			}
+			ck, _ = openCheckpoint(opts.Checkpoint, "")
+		}
+		p.ckpt = ck
+	}
 	return p
+}
+
+// Stop asks the pool to drain gracefully: no further jobs are dispatched,
+// in-flight simulations run to completion, and every undispatched job's
+// Outcome carries ErrInterrupted. Safe to call from a signal handler
+// goroutine, concurrently with Run, and more than once.
+func (p *Pool) Stop() {
+	p.stopOnce.Do(func() { close(p.stop) })
+}
+
+// Stopped reports whether Stop has been called.
+func (p *Pool) Stopped() bool {
+	select {
+	case <-p.stop:
+		return true
+	default:
+		return false
+	}
 }
 
 // Workers returns the effective concurrency.
@@ -148,16 +214,46 @@ func (p *Pool) Run(jobs []Job) []Outcome {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				out[i] = p.runOne(jobs[i])
+				// A job dispatched but not yet started when Stop lands is
+				// not in-flight: it is marked interrupted, not run. The
+				// check is deterministic — a closed stop channel always
+				// wins over default.
+				select {
+				case <-p.stop:
+					out[i] = Outcome{Job: jobs[i], Err: ErrInterrupted}
+				default:
+					out[i] = p.runOne(jobs[i])
+				}
 				prog.jobDone(out[i].CacheHit)
 			}
 		}()
 	}
+	// The feeder dispatches in submission order and quits at Stop; the
+	// channel is unbuffered, so every index that left the loop is with a
+	// worker and will be filled in before wg.Wait returns. Undispatched
+	// jobs are exactly the tail [sent, len). The non-blocking check first
+	// gives Stop deterministic priority over an already-sendable dispatch.
+	sent := len(jobs)
+feed:
 	for i := range jobs {
-		idx <- i
+		select {
+		case <-p.stop:
+			sent = i
+			break feed
+		default:
+		}
+		select {
+		case idx <- i:
+		case <-p.stop:
+			sent = i
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
+	for i := sent; i < len(jobs); i++ {
+		out[i] = Outcome{Job: jobs[i], Err: ErrInterrupted}
+	}
 	p.record(out)
 	return out
 }
@@ -193,17 +289,48 @@ func (p *Pool) Outcomes() []Outcome {
 	return out
 }
 
-func (p *Pool) runOne(job Job) Outcome {
+func (p *Pool) runOne(job Job) (o Outcome) {
 	start := time.Now()
-	o := Outcome{Job: job}
+	o = Outcome{Job: job}
+	// Last-resort recovery: execute already fences the simulation
+	// goroutine, but a panic on the worker's own path — job.Key() on a
+	// non-serializable config, a cache or checkpoint fault — would
+	// otherwise take down the whole sweep. It becomes a failure row
+	// like any other error, with Attempts set so it cannot be mistaken
+	// for a cache hit.
+	defer func() {
+		if r := recover(); r != nil {
+			o.Err = fmt.Errorf("runner: job %q panicked: %v\n%s", job.Tag, r, debug.Stack())
+			if o.Attempts == 0 {
+				o.Attempts = 1
+			}
+			o.Elapsed = time.Since(start)
+			p.fails.Add(1)
+		}
+	}()
 
+	if p.opts.Audit {
+		job.Config.Audit = true
+	}
 	var key string
-	if p.cache != nil && job.Cacheable() {
+	if job.Cacheable() && (p.cache != nil || p.ckpt != nil) {
 		key = job.Key()
-		if res, ok := p.cache.load(key); ok {
-			p.hits.Add(1)
-			o.Result, o.CacheHit, o.Elapsed = res, true, time.Since(start)
-			return o
+		if p.ckpt != nil {
+			if res, ok := p.ckpt.lookup(key); ok {
+				p.hits.Add(1)
+				o.Result, o.CacheHit, o.Elapsed = res, true, time.Since(start)
+				return o
+			}
+		}
+		if p.cache != nil {
+			if res, ok := p.cache.load(key); ok {
+				p.hits.Add(1)
+				o.Result, o.CacheHit, o.Elapsed = res, true, time.Since(start)
+				// Fold the hit into the checkpoint too: a resume must not
+				// depend on the cache still being warm.
+				p.checkpointAdd(key, job.Tag, res)
+				return o
+			}
 		}
 	}
 
@@ -213,7 +340,7 @@ func (p *Pool) runOne(job Job) Outcome {
 	}
 	for attempt := 0; ; attempt++ {
 		o.Attempts = attempt + 1
-		o.Result, o.Err = p.execute(job)
+		o.Result, o.Violations, o.Err = p.execute(job)
 		if o.Err == nil || attempt >= p.opts.Retries {
 			break
 		}
@@ -235,25 +362,41 @@ func (p *Pool) runOne(job Job) Outcome {
 	}
 	p.ran.Add(1)
 	if key != "" {
-		if err := p.cache.store(key, job.Tag, job, o.Result); err != nil && p.opts.Progress != nil {
-			fmt.Fprintf(p.opts.Progress, "runner: %v\n", err)
+		if p.cache != nil {
+			if err := p.cache.store(key, job.Tag, job, o.Result); err != nil && p.opts.Progress != nil {
+				fmt.Fprintf(p.opts.Progress, "runner: %v\n", err)
+			}
 		}
+		p.checkpointAdd(key, job.Tag, o.Result)
 	}
 	return o
+}
+
+// checkpointAdd records a completed job in the checkpoint file (if one is
+// configured) and reports write errors on Progress — a failed checkpoint
+// write must not fail the job, only the ability to resume from it.
+func (p *Pool) checkpointAdd(key, tag string, res cluster.Result) {
+	if p.ckpt == nil {
+		return
+	}
+	if err := p.ckpt.add(key, res); err != nil && p.opts.Progress != nil {
+		fmt.Fprintf(p.opts.Progress, "runner: job %q: %v\n", tag, err)
+	}
 }
 
 // jobResult crosses the isolation goroutine boundary. The channel is
 // buffered so an abandoned (timed-out) simulation can still deposit its
 // result and exit instead of leaking forever.
 type jobResult struct {
-	res cluster.Result
-	err error
+	res        cluster.Result
+	violations []audit.Violation
+	err        error
 }
 
 // execute runs one simulation in its own goroutine so a panic inside the
 // simulator (a pathological configuration tripping an internal invariant)
 // or a hung run cannot take down or stall the whole sweep.
-func (p *Pool) execute(job Job) (cluster.Result, error) {
+func (p *Pool) execute(job Job) (cluster.Result, []audit.Violation, error) {
 	ch := make(chan jobResult, 1)
 	go func() {
 		defer func() {
@@ -262,20 +405,22 @@ func (p *Pool) execute(job Job) (cluster.Result, error) {
 					job.Tag, r, debug.Stack())}
 			}
 		}()
-		ch <- jobResult{res: cluster.New(job.Config).Run()}
+		cl := cluster.New(job.Config)
+		res := cl.Run()
+		ch <- jobResult{res: res, violations: cl.AuditViolations()}
 	}()
 
 	if p.opts.Timeout <= 0 {
 		r := <-ch
-		return r.res, r.err
+		return r.res, r.violations, r.err
 	}
 	timer := time.NewTimer(p.opts.Timeout)
 	defer timer.Stop()
 	select {
 	case r := <-ch:
-		return r.res, r.err
+		return r.res, r.violations, r.err
 	case <-timer.C:
-		return cluster.Result{}, fmt.Errorf("runner: job %q exceeded the %v wall-clock timeout",
+		return cluster.Result{}, nil, fmt.Errorf("runner: job %q exceeded the %v wall-clock timeout",
 			job.Tag, p.opts.Timeout)
 	}
 }

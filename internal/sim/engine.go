@@ -211,6 +211,15 @@ type Engine struct {
 	levels   [wheelLevels]wheelLevel
 
 	free *Event // free-list of recycled events, linked through next
+
+	// Livelock watchdog (see SetLivelockWatchdog): when wdLimit > 0, Run
+	// counts consecutive events firing at the same instant and trips once
+	// the count reaches the limit. Off, it costs one predictable integer
+	// test per fired event.
+	wdLimit int
+	wdSame  int
+	wdLast  Time
+	wdTrip  func(count int, at Time)
 }
 
 // NewEngine returns an empty engine at time 0.
@@ -500,6 +509,9 @@ func (e *Engine) Run(until Time) uint64 {
 			break
 		}
 		e.now = ev.when
+		if e.wdLimit != 0 {
+			e.watchdog(ev.when)
+		}
 		e.fire(ev)
 		fired++
 	}
