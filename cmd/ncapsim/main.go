@@ -6,6 +6,9 @@
 //	ncapsim -policy perf -workload memcached -load 90000 -measure 500ms
 //	ncapsim -exp fig1          # print the P-state transition table (Fig. 1)
 //	ncapsim -json out/report.json -trace-out out/events.jsonl
+//	ncapsim -scenario flashcrowd             # generated traffic scenario
+//	ncapsim -record-trace out/run.trace      # capture the arrival schedule
+//	ncapsim -trace out/run.trace             # replay it, bit-for-bit
 package main
 
 import (
@@ -43,13 +46,20 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "atomically rewrite this JSON file with the completed result, for -resume")
 		resume     = flag.String("resume", "", "replay the result from this checkpoint file instead of re-running (requires -checkpoint)")
 		faults     cliflags.Faults
+		traffic    cliflags.Traffic
 		out        cliflags.Output
 	)
 	faults.Register()
+	traffic.Register()
 	out.Register(true)
 	flag.Parse()
 	if *resume != "" && *checkpoint == "" {
 		cliflags.Fatalf(tool, "-resume requires -checkpoint (point both at the same file to continue it)")
+	}
+	if traffic.RecordTrace != "" && *resume != "" {
+		// A checkpoint stores the Result, not the capture; replaying one
+		// cannot produce the trace the flag promises.
+		cliflags.Fatalf(tool, "-record-trace cannot be combined with -resume (checkpoints store results, not traces)")
 	}
 	stopProf := out.StartPprof(tool)
 	defer stopProf()
@@ -65,6 +75,7 @@ func main() {
 	prof := cliflags.Workload(tool, *workload)
 	policy := cliflags.Policy(tool, *policyName)
 	faults.Validate(tool)
+	traffic.Validate(tool)
 	rps := *load
 	if rps == 0 {
 		rps = ncap.LoadRPS(prof.Name, cliflags.Level(tool, *level))
@@ -75,6 +86,7 @@ func main() {
 	cfg.Warmup = sim.Duration(warmup.Nanoseconds())
 	cfg.Seed = *seed
 	faults.Apply(&cfg)
+	traffic.Apply(tool, &cfg)
 	if err := cfg.Validate(); err != nil {
 		cliflags.Fatalf(tool, "%v", err)
 	}
@@ -127,8 +139,19 @@ func main() {
 				res.FaultDrops, res.CorruptDrops, res.FaultDups, res.FaultDelays,
 				res.DupSuppressed, res.DupResent)
 		}
+		if res.IntendedSends > 0 {
+			fmt.Printf("traffic: trace=%.12s intended=%d lagged=%d lag-max=%v\n",
+				res.TraceHash, res.IntendedSends, res.LaggedSends, res.SendLagMax)
+		}
 		fmt.Printf("simulator: %d events in %v (%.1f Mevents/s)\n",
 			res.Events, wall.Round(time.Millisecond), float64(res.Events)/wall.Seconds()/1e6)
+	}
+
+	if traffic.RecordTrace != "" {
+		if err := traffic.WriteRecorded(res.Recorded); err != nil {
+			fmt.Fprintln(os.Stderr, "ncapsim:", err)
+			os.Exit(1)
+		}
 	}
 
 	if out.JSON != "" {

@@ -11,6 +11,7 @@
 //	ncapsweep -exp headline                       # abstract's claims
 //	ncapsweep -exp ablations -workload apache     # design-choice ablations
 //	ncapsweep -exp e11       -workload apache     # policies on a degraded fabric
+//	ncapsweep -exp e12       -workload apache     # policies under traffic scenarios
 //	ncapsweep -exp all                            # everything
 //	ncapsweep -exp headline -json out/report.json # machine-readable results
 //
@@ -54,9 +55,71 @@ import (
 
 const tool = "ncapsweep"
 
+// handlers maps each experiment family to its runner. Keyed off the
+// experiments.Families registry — main checks at startup that the two
+// agree, so the -exp usage text (built from the registry) can never
+// advertise a family this switch doesn't implement, or vice versa.
+var handlers = map[string]func(o experiments.Options, profiles []app.Profile){
+	"lvl": func(o experiments.Options, profiles []app.Profile) {
+		for _, prof := range profiles {
+			latencyVsLoad(o, prof)
+		}
+	},
+	"policies": func(o experiments.Options, profiles []app.Profile) {
+		for _, prof := range profiles {
+			policies(o, prof)
+		}
+	},
+	"fig2": func(o experiments.Options, profiles []app.Profile) {
+		fig2(o)
+	},
+	"headline": func(o experiments.Options, profiles []app.Profile) {
+		for _, prof := range profiles {
+			headline(o, prof)
+		}
+	},
+	"ablations": func(o experiments.Options, profiles []app.Profile) {
+		for _, prof := range profiles {
+			ablations(o, prof)
+		}
+	},
+	"extensions": func(o experiments.Options, profiles []app.Profile) {
+		for _, prof := range profiles {
+			extensions(o, prof)
+		}
+	},
+	"e11": func(o experiments.Options, profiles []app.Profile) {
+		for _, prof := range profiles {
+			experiments.RenderDegraded(os.Stdout, o, prof)
+		}
+	},
+	"e12": func(o experiments.Options, profiles []app.Profile) {
+		for _, prof := range profiles {
+			experiments.RenderScenarios(os.Stdout, o, prof)
+		}
+	},
+	"all": nil, // resolved in main: runs every other family in registry order
+}
+
+// checkHandlers panics unless the handlers map and the experiments.Families
+// registry name exactly the same set — the guard that keeps usage text,
+// dispatch, and the registry from drifting apart.
+func checkHandlers() {
+	fams := experiments.Families()
+	if len(handlers) != len(fams) {
+		panic(fmt.Sprintf("ncapsweep: %d handlers but %d registered families", len(handlers), len(fams)))
+	}
+	for _, f := range fams {
+		if _, ok := handlers[f.Name]; !ok {
+			panic(fmt.Sprintf("ncapsweep: registered family %q has no handler", f.Name))
+		}
+	}
+}
+
 func main() {
+	checkHandlers()
 	var (
-		exp      = flag.String("exp", "all", "experiment: lvl, policies, fig2, headline, ablations, extensions, e11, all")
+		exp      = flag.String("exp", "all", "experiment: "+experiments.FamilyNames())
 		workload = flag.String("workload", "", "restrict to one workload (apache, memcached)")
 		full     = flag.Bool("full", false, "use the full measurement windows")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
@@ -85,47 +148,17 @@ func main() {
 
 	profiles := cliflags.Workloads(tool, *workload)
 
-	switch *exp {
-	case "lvl":
-		for _, prof := range profiles {
-			latencyVsLoad(o, prof)
+	switch h, ok := handlers[*exp]; {
+	case !ok:
+		cliflags.Fatalf(tool, "unknown -exp %q (want one of: %s)", *exp, experiments.FamilyNames())
+	case h != nil:
+		h(o, profiles)
+	default: // "all": every other family, in registry order
+		for _, f := range experiments.Families() {
+			if g := handlers[f.Name]; g != nil {
+				g(o, profiles)
+			}
 		}
-	case "policies":
-		for _, prof := range profiles {
-			policies(o, prof)
-		}
-	case "fig2":
-		fig2(o)
-	case "headline":
-		for _, prof := range profiles {
-			headline(o, prof)
-		}
-	case "ablations":
-		for _, prof := range profiles {
-			ablations(o, prof)
-		}
-	case "extensions":
-		for _, prof := range profiles {
-			extensions(o, prof)
-		}
-	case "e11":
-		for _, prof := range profiles {
-			experiments.RenderDegraded(os.Stdout, o, prof)
-		}
-	case "all":
-		fig2(o)
-		for _, prof := range profiles {
-			latencyVsLoad(o, prof)
-			policies(o, prof)
-			headline(o, prof)
-			ablations(o, prof)
-			extensions(o, prof)
-		}
-		for _, prof := range profiles {
-			experiments.RenderDegraded(os.Stdout, o, prof)
-		}
-	default:
-		cliflags.Fatalf(tool, "unknown -exp %q", *exp)
 	}
 
 	if out.JSON != "" {

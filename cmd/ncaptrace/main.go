@@ -8,6 +8,7 @@
 //	ncaptrace -policy ncap.cons -workload apache -level low > snapshot.csv
 //	ncaptrace -snapshot -workload memcached -level low -out mem  # both policies
 //	ncaptrace -policy ncap.cons -json fig4.json > fig4.csv       # series as JSON
+//	ncaptrace -snapshot -scenario flashcrowd -out fc  # snapshots under a scenario
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"ncap/internal/report"
 	"ncap/internal/runner"
 	"ncap/internal/sim"
+	wl "ncap/internal/workload"
 )
 
 const tool = "ncaptrace"
@@ -36,6 +38,7 @@ func main() {
 		interval   = flag.Duration("interval", 500*time.Microsecond, "sampling interval")
 		measure    = flag.Duration("measure", 200*time.Millisecond, "traced window (the paper plots 200 ms)")
 		snapshot   = flag.Bool("snapshot", false, "emit the ond.idle + ncap.cons snapshot pair")
+		scenario   = flag.String("scenario", "", "drive the traced run with a generated traffic scenario ("+wl.ScenarioUsage()+")")
 		out        = flag.String("out", "", "output file prefix (default: stdout)")
 		seed       = flag.Uint64("seed", 1, "simulation seed")
 		jobsN      = flag.Int("jobs", 2, "concurrent simulations (the -snapshot pair parallelizes)")
@@ -83,10 +86,23 @@ func main() {
 		}
 	}
 
+	// -scenario swaps the built-in burst clients for a generated schedule
+	// (see internal/workload); the sampler then traces NCAP's response to
+	// a load shape that actually shifts.
+	var mutate []func(*cluster.Config)
+	if *scenario != "" {
+		sc, err := wl.ParseScenario(*scenario)
+		if err != nil {
+			cliflags.Fatalf(tool, "%v", err)
+		}
+		spec := &wl.Spec{Scenario: sc}
+		mutate = append(mutate, func(c *cluster.Config) { c.Traffic = spec })
+	}
+
 	rep := report.New(tool, "trace")
 
 	if *snapshot {
-		ond, ncp := experiments.Snapshots(o, prof, lvl)
+		ond, ncp := experiments.Snapshots(o, prof, lvl, mutate...)
 		writeTrace(ond, fileOrStdout(*out, "ond.idle"))
 		writeTrace(ncp, fileOrStdout(*out, "ncap.cons"))
 		addTrace(rep, ond)
@@ -100,7 +116,6 @@ func main() {
 	if err != nil {
 		cliflags.Fatalf(tool, "%v", err)
 	}
-	var mutate []func(*cluster.Config)
 	if *lossP > 0 {
 		mutate = append(mutate, func(c *cluster.Config) {
 			c.Fault.Links = append(c.Fault.Links, fault.LinkFault{

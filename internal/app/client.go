@@ -46,11 +46,16 @@ func DefaultClientConfig() ClientConfig {
 
 // pendingReq tracks one outstanding request.
 type pendingReq struct {
-	sent    sim.Time // first transmission (latency is measured from here)
+	sent    sim.Time // scheduled first transmission (latency is measured from here)
 	got     uint64   // bitmask of distinct response segments received
 	need    int      // segments expected (learned from the first segment)
 	retries int
 	timer   *sim.Timer
+	// payload and respHint override the client's defaults for replayed
+	// requests (per-record sizes); retransmissions reuse them so a
+	// resend is byte-identical to the original.
+	payload  []byte
+	respHint int
 }
 
 // Client is an open-loop load generator: it emits bursts on schedule
@@ -73,6 +78,32 @@ type Client struct {
 	measureFrom sim.Time
 	running     bool
 
+	// Replay switches the client to schedule replay: Start stops
+	// emitting bursts and the cluster fires pre-scheduled ReplayItems
+	// instead (see internal/workload). Set before Start.
+	Replay bool
+	// CoAccount turns on intended-send accounting in burst mode (trace
+	// recording), so a recorded run's Lag counters match its replay's.
+	CoAccount bool
+	// OnSend, when set, observes every first transmission (trace
+	// capture): scheduled time, flow, request size, response hint and
+	// service class, in engine fire order.
+	OnSend func(t sim.Time, flow, reqBytes, respHint int, class string)
+	// Lag is the coordinated-omission report: every scheduled send plus
+	// how far the actual transmission slipped behind the schedule.
+	Lag stats.LagMeter
+	// pacingFires counts this client's own pacing events (burst ticks,
+	// per-request sends, replay fires). The cluster subtracts them from
+	// the engine's event count in accounting runs so a recorded run and
+	// its replay — whose pacing event shapes differ — report identical
+	// Events.
+	pacingFires uint64
+
+	// sized payload caches for replayed records that differ from the
+	// profile's request size (shared read-only across frames).
+	reqPayloads  map[int][]byte
+	bulkPayloads map[int][]byte
+
 	// Sent counts first transmissions; Retransmits resends; Completed
 	// requests with a full response; Abandoned requests that exhausted
 	// retries (recorded at their give-up latency so tails stay honest).
@@ -83,6 +114,8 @@ type Client struct {
 	// CorruptDrops counts response frames the client NIC's FCS check
 	// discarded (fault injection); the request recovers via RTO.
 	CorruptDrops stats.Counter
+	// BulkSent counts one-way bulk-class frames emitted during replay.
+	BulkSent stats.Counter
 }
 
 // NewClient builds a client. uplink must lead to the switch; payload is
@@ -108,12 +141,19 @@ func (c *Client) Latency() *stats.LatencyRecorder { return c.lat }
 // Outstanding returns the number of requests still awaiting responses.
 func (c *Client) Outstanding() int { return len(c.pending) }
 
-// Start begins emitting bursts after the configured offset.
+// Start begins emitting bursts after the configured offset. A Replay
+// client only marks itself running: its sends were pre-scheduled from
+// the trace, every one of which fires regardless of Stop — mirroring
+// burst mode, where requests already scheduled within a burst still go
+// out after Stop.
 func (c *Client) Start() {
 	if c.running {
 		return
 	}
 	c.running = true
+	if c.Replay {
+		return
+	}
 	c.eng.ScheduleArg(c.cfg.StartOffset, clientBurst, c)
 }
 
@@ -131,7 +171,12 @@ func (c *Client) BeginMeasurement() {
 	c.Retransmits.Reset()
 	c.Abandoned.Reset()
 	c.CorruptDrops.Reset()
+	c.BulkSent.Reset()
+	c.Lag.Reset()
 }
+
+// PacingFires returns the client's pacing event count (see pacingFires).
+func (c *Client) PacingFires() uint64 { return c.pacingFires }
 
 // clientBurst and clientSendNew are the allocation-free trampolines for
 // the per-burst and per-request schedule paths (arg is the *Client).
@@ -139,6 +184,7 @@ func clientBurst(arg any)   { arg.(*Client).burst() }
 func clientSendNew(arg any) { arg.(*Client).sendNew() }
 
 func (c *Client) burst() {
+	c.pacingFires++
 	if !c.running {
 		return
 	}
@@ -153,6 +199,16 @@ func (c *Client) burst() {
 }
 
 func (c *Client) sendNew() {
+	c.pacingFires++
+	if c.CoAccount {
+		// Burst-mode sends never slip: the scheduled time is the send
+		// time. Recording the zero keeps a captured run's intended-send
+		// count equal to its replay's.
+		c.Lag.Record(0)
+	}
+	if c.OnSend != nil {
+		c.OnSend(c.eng.Now(), 0, len(c.payload), 0, "")
+	}
 	seq := c.nextSeq
 	c.nextSeq++
 	id := uint64(c.addr)<<40 | seq
@@ -162,8 +218,79 @@ func (c *Client) sendNew() {
 	c.transmit(id, pr)
 }
 
+// ReplayItem is one pre-scheduled trace send, owned by the cluster and
+// fired through ReplayFire at its At time.
+type ReplayItem struct {
+	C *Client
+	// Sched is the trace's intended send time; At the actual (pacing
+	// may push it later). Latency is charged from Sched.
+	Sched, At sim.Time
+	Flow      int
+	ReqBytes  int
+	RespHint  int
+	Bulk      bool
+}
+
+// ReplayFire is the engine trampoline for scheduled trace sends (arg is
+// the *ReplayItem).
+func ReplayFire(arg any) { it := arg.(*ReplayItem); it.C.replaySend(it) }
+
+func (c *Client) replaySend(it *ReplayItem) {
+	c.pacingFires++
+	c.Lag.Record(c.eng.Now() - it.Sched)
+	if it.Bulk {
+		// One-way background frame: no pending state, no RTO, payload
+		// NCAP's latency-critical templates must not match.
+		pkt := netsim.AllocPacket()
+		pkt.Src, pkt.Dst, pkt.Kind = c.addr, c.server, netsim.KindBulk
+		pkt.Payload = c.sizedPayload(&c.bulkPayloads, it.ReqBytes, "PUT /trace-bulk")
+		pkt.PayloadLen = it.ReqBytes
+		c.BulkSent.Inc()
+		c.uplink.Send(pkt)
+		return
+	}
+	seq := c.nextSeq
+	c.nextSeq++
+	id := uint64(c.addr)<<40 | seq
+	pr := &pendingReq{sent: it.Sched, respHint: it.RespHint}
+	if it.ReqBytes != len(c.payload) {
+		pr.payload = c.sizedPayload(&c.reqPayloads, it.ReqBytes, "")
+	}
+	c.pending[id] = pr
+	c.Sent.Inc()
+	c.transmit(id, pr)
+}
+
+// sizedPayload returns a shared payload of the given size from the
+// cache, seeding new entries with prefix (empty: the client's request
+// payload, so the bytes NCAP classifies on stay authentic) padded with
+// filler.
+func (c *Client) sizedPayload(cache *map[int][]byte, n int, prefix string) []byte {
+	if *cache == nil {
+		*cache = map[int][]byte{}
+	}
+	if b, ok := (*cache)[n]; ok {
+		return b
+	}
+	src := []byte(prefix)
+	if prefix == "" {
+		src = c.payload
+	}
+	b := make([]byte, n)
+	for i := copy(b, src); i < n; i++ {
+		b[i] = 'x'
+	}
+	(*cache)[n] = b
+	return b
+}
+
 func (c *Client) transmit(id uint64, pr *pendingReq) {
-	pkt := netsim.NewRequest(c.addr, c.server, id, c.payload)
+	payload := pr.payload
+	if payload == nil {
+		payload = c.payload
+	}
+	pkt := netsim.NewRequest(c.addr, c.server, id, payload)
+	pkt.RespHint = pr.respHint
 	c.uplink.Send(pkt)
 	if c.cfg.RTO <= 0 {
 		return

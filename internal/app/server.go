@@ -114,7 +114,13 @@ func (s *Server) HandleDelivered(p *netsim.Packet, pollCore int) {
 func (s *Server) finish(req *netsim.Packet, coreID int) {
 	s.Inflight--
 	s.Served.Inc()
-	body := s.responseBytes()
+	// A replayed request pins its response size (the trace records it);
+	// the profile draw is skipped entirely so the random stream advances
+	// only for requests that actually consume it.
+	body := req.RespHint
+	if body <= 0 {
+		body = s.responseBytes()
+	}
 	if s.Dedup {
 		s.rememberServed(req.ReqID, body)
 	}

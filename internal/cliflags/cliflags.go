@@ -24,6 +24,7 @@ import (
 	"ncap/internal/fault"
 	"ncap/internal/runner"
 	"ncap/internal/sim"
+	"ncap/internal/workload"
 
 	// Registered on the default mux for the optional -pprof endpoint.
 	_ "net/http/pprof"
@@ -234,6 +235,67 @@ func (f *Faults) Apply(cfg *cluster.Config) {
 		ReorderP:   f.Reorder,
 		ReorderMax: sim.Duration(f.ReorderMax.Nanoseconds()),
 	})
+}
+
+// Traffic bundles the workload-source flags: generated scenarios, trace
+// replay, and trace recording (see internal/workload).
+type Traffic struct {
+	Scenario    string
+	Trace       string
+	RecordTrace string
+}
+
+// Register installs the traffic flags.
+func (t *Traffic) Register() {
+	flag.StringVar(&t.Scenario, "scenario", "", "generated traffic scenario ("+workload.ScenarioUsage()+"); empty keeps the built-in burst clients")
+	flag.StringVar(&t.Trace, "trace", "", "replay this ncap-trace-v1 arrival schedule (JSONL file)")
+	flag.StringVar(&t.RecordTrace, "record-trace", "", "write the run's arrival schedule as an ncap-trace-v1 trace to this path")
+}
+
+// Validate rejects contradictory traffic sources with exit code 2.
+func (t *Traffic) Validate(tool string) {
+	if t.Scenario != "" && t.Trace != "" {
+		Fatalf(tool, "-scenario and -trace are mutually exclusive (a trace is already a fixed schedule)")
+	}
+}
+
+// Apply resolves the flags into the config's workload spec: -trace loads
+// and attaches the schedule (with its cache-identity hash), -scenario
+// selects a generator, -record-trace arms capture. No flags set leaves
+// the config on the built-in burst clients.
+func (t *Traffic) Apply(tool string, cfg *cluster.Config) {
+	var spec *workload.Spec
+	switch {
+	case t.Trace != "":
+		tr, err := workload.ReadTraceFile(t.Trace)
+		if err != nil {
+			Fatalf(tool, "-trace: %v", err)
+		}
+		spec = workload.SpecForTrace(tr)
+	case t.Scenario != "":
+		sc, err := workload.ParseScenario(t.Scenario)
+		if err != nil {
+			Fatalf(tool, "%v", err)
+		}
+		spec = &workload.Spec{Scenario: sc}
+	}
+	if t.RecordTrace != "" {
+		if spec == nil {
+			spec = &workload.Spec{}
+		}
+		spec.Record = true
+	}
+	cfg.Traffic = spec
+}
+
+// WriteRecorded writes a recording run's captured schedule to the
+// -record-trace path. It is an error for the result to carry no capture
+// (e.g. a checkpoint replay, which stores results, not traces).
+func (t *Traffic) WriteRecorded(rec *workload.Trace) error {
+	if rec == nil {
+		return fmt.Errorf("-record-trace: run produced no capture")
+	}
+	return workload.WriteTraceFile(t.RecordTrace, rec)
 }
 
 // Output bundles the machine-readable output flags.

@@ -14,6 +14,7 @@ import (
 	"ncap/internal/power"
 	"ncap/internal/sim"
 	"ncap/internal/trace"
+	"ncap/internal/workload"
 )
 
 // Network addresses in the four-node topology.
@@ -51,6 +52,14 @@ type Cluster struct {
 	Ond     *governor.Ondemand
 	Menu    *governor.Menu
 	Sampler *trace.Sampler
+
+	// Traffic replay state (see internal/workload): the schedule being
+	// replayed (nil in burst mode), its canonical hash, the live capture
+	// when recording, and whether intended-send accounting is active.
+	replayTrace *workload.Trace
+	replayHash  string
+	capture     *workload.Capture
+	accounting  bool
 
 	// aud is the runtime invariant auditor (nil unless Config.Audit or
 	// the audit build tag enabled it).
@@ -177,6 +186,11 @@ func New(cfg Config) *Cluster {
 		c.Driver.EnableSoftwareNCAP(cfg.ncapConfig(), chipState{c.Chip}, templates...)
 	}
 
+	// Traffic source: resolve a replayed schedule (explicit trace or
+	// generated scenario) before the clients are built so they come up
+	// in replay mode.
+	c.resolveTraffic()
+
 	// Clients, phase-staggered across the period.
 	period := app.TargetPeriodFor(cfg.LoadRPS, cfg.BurstSize, cfg.Clients)
 	payload := cfg.Workload.RequestPayload()
@@ -197,9 +211,11 @@ func New(cfg Config) *Cluster {
 			faulted(netsim.NewLink(eng, cfg.Link, c.sw), addr, fault.FromNode),
 			payload, ccfg,
 			sim.NewRand(cfg.Seed, "client"+string(rune('0'+i))))
+		cl.Replay = c.replayTrace != nil
 		faulted(c.sw.Attach(addr, cfg.Link, cl), addr, fault.ToNode)
 		c.Clients = append(c.Clients, cl)
 	}
+	c.installTraffic()
 
 	// Optional background bulk traffic.
 	if cfg.BulkBps > 0 {

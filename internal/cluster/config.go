@@ -11,6 +11,7 @@ import (
 	"ncap/internal/nic"
 	"ncap/internal/sim"
 	"ncap/internal/telemetry"
+	"ncap/internal/workload"
 )
 
 // Config describes one experiment: a policy, a workload, a load level and
@@ -61,6 +62,14 @@ type Config struct {
 	// stack costs halve and NCAP's rate thresholds scale up to match the
 	// higher sustainable packet rate.
 	TOE bool
+	// Traffic selects the traffic source (see internal/workload): nil is
+	// the built-in stationary burst clients; a scenario or trace switches
+	// the clients to deterministic schedule replay with coordinated-
+	// omission-safe measurement, and Record captures the run's arrivals
+	// back out as an ncap-trace-v1 schedule. A nil pointer serializes to
+	// nothing, so legacy configs keep their cache identity; a replayed
+	// trace participates via its canonical hash (Spec.TraceHash).
+	Traffic *workload.Spec `json:"Traffic,omitempty"`
 	// Fault degrades the fabric: per-link loss/corruption/reordering/
 	// duplication/flaps and per-node slowdown/crash windows (see
 	// internal/fault). The zero value is the perfect network the paper
@@ -144,8 +153,26 @@ func (c Config) Validate() error {
 	if err := c.Fault.Validate(); err != nil {
 		return err
 	}
+	if err := c.Traffic.Validate(c.Clients); err != nil {
+		return err
+	}
+	if c.Traffic.Replay() && c.Traffic.Trace == nil {
+		// Reject oversized generations here, where callers expect errors,
+		// instead of panicking inside New.
+		sc := c.Traffic.Scenario
+		if est := sc.EstimateRecords(c.LoadRPS, c.Warmup+c.Measure); est > workload.MaxTraceRecords {
+			return fmt.Errorf("cluster: scenario %s at %.0f rps over %v generates ~%d records (limit %d)",
+				sc.Name, c.LoadRPS, c.Warmup+c.Measure, est, workload.MaxTraceRecords)
+		}
+	}
 	return c.ncapConfig().Validate()
 }
+
+// Recording reports whether the run captures its arrival schedule (see
+// workload.Spec.Record). Recording jobs are never cached: the cache
+// stores Results, whose captured trace (Result.Recorded) it does not
+// serialize.
+func (c Config) Recording() bool { return c.Traffic.Recording() }
 
 // ncapConfig resolves the effective DecisionEngine config for the policy.
 func (c Config) ncapConfig() core.Config {

@@ -9,6 +9,7 @@ import (
 	"ncap/internal/sim"
 	"ncap/internal/stats"
 	"ncap/internal/trace"
+	"ncap/internal/workload"
 )
 
 // Result carries everything an experiment measures.
@@ -59,6 +60,24 @@ type Result struct {
 
 	// Sampler holds the time-series trace when enabled.
 	Sampler *trace.Sampler
+
+	// Traffic accounting (replay/recording runs only, see
+	// internal/workload). TraceHash identifies the replayed or captured
+	// schedule; IntendedSends counts sends scheduled inside the
+	// measurement window; LaggedSends those whose actual transmission
+	// slipped behind the schedule (pacing backlog), with SendLagMax and
+	// SendLagTotal summarizing the slip. Latency is charged from the
+	// scheduled time, so the percentiles are coordinated-omission-safe
+	// and these fields report the backlog that correction absorbed.
+	TraceHash     string       `json:",omitempty"`
+	IntendedSends int64        `json:",omitempty"`
+	LaggedSends   int64        `json:",omitempty"`
+	SendLagMax    sim.Duration `json:",omitempty"`
+	SendLagTotal  sim.Duration `json:",omitempty"`
+	// Recorded is the captured arrival schedule of a recording run —
+	// live data for the caller (ncapsim -record-trace), excluded from
+	// serialization; recording runs are never cached.
+	Recorded *workload.Trace `json:"-"`
 
 	// Events is the simulator event count (progress metric).
 	Events uint64
@@ -123,6 +142,16 @@ func (c *Cluster) Run() Result {
 	}
 	c.eng.Run(measureEnd + cfg.Drain)
 	c.mergeClientStats(&res)
+	// The captured schedule is complete only now (sends already queued at
+	// Stop time still went out during the drain, and a replay must send
+	// them too). The capture's hash doubles as the record run's
+	// TraceHash, so the Result matches its replay's byte for byte.
+	if rec := c.RecordedTrace(); rec != nil {
+		res.Recorded = rec
+		if res.TraceHash == "" {
+			res.TraceHash = rec.Hash()
+		}
+	}
 	// Quiescence-dependent audit checks run last: the Result is fully
 	// collected, so the grace window they need cannot perturb it.
 	if c.aud != nil {
@@ -157,6 +186,16 @@ func (c *Cluster) collect(energyJ float64) Result {
 	events := c.eng.Fired()
 	if c.aud != nil {
 		events -= c.aud.ticks
+	}
+	if c.accounting {
+		// Burst pacing and trace replay reach the same arrivals through
+		// different event shapes (per-burst ticks + per-request sends vs
+		// one pre-scheduled fire per record). Subtracting each client's
+		// own pacing events makes Events — and with it the whole Result —
+		// byte-identical between a recorded run and its replay.
+		for _, cl := range c.Clients {
+			events -= cl.PacingFires()
+		}
 	}
 	merged := stats.NewRecorder()
 	var sent, completed, retrans, abandoned int64
@@ -214,6 +253,17 @@ func (c *Cluster) collect(energyJ float64) Result {
 	}
 	if c.Ond != nil {
 		res.GovernorInvocations = c.Ond.Invocations.Value()
+	}
+	if c.accounting {
+		var lag stats.LagMeter
+		for _, cl := range c.Clients {
+			lag.Add(cl.Lag)
+		}
+		res.TraceHash = c.replayHash
+		res.IntendedSends = lag.Count
+		res.LaggedSends = lag.Lagged
+		res.SendLagMax = lag.Max
+		res.SendLagTotal = lag.Total
 	}
 	return res
 }

@@ -214,9 +214,14 @@ func Fig4(o Options) TraceResult {
 // Snapshots reproduces the Fig. 8/9 right panels: BW(Rx)-vs-F traces for
 // ond.idle and ncap.cons over the same workload and load, run as one
 // two-job batch.
-func Snapshots(o Options, prof app.Profile, lvl cluster.LoadLevel) (ondIdle, ncapCons TraceResult) {
+func Snapshots(o Options, prof app.Profile, lvl cluster.LoadLevel, mutate ...func(*cluster.Config)) (ondIdle, ncapCons TraceResult) {
 	load := cluster.LoadRPS(prof.Name, lvl)
-	trace := func(c *cluster.Config) { c.TraceInterval = 500 * sim.Microsecond }
+	trace := func(c *cluster.Config) {
+		c.TraceInterval = 500 * sim.Microsecond
+		for _, m := range mutate {
+			m(c)
+		}
+	}
 	results := runBatch(o, "snapshot", []cluster.Config{
 		configFor(o, cluster.OndIdle, prof, load, trace),
 		configFor(o, cluster.NcapCons, prof, load, trace),

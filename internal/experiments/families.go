@@ -1,0 +1,41 @@
+package experiments
+
+import "strings"
+
+// Family describes one ncapsweep experiment family. The registry is the
+// single source of truth for the -exp flag: the CLI builds its usage
+// text and its unknown-value error from it, and verifies at startup that
+// its dispatch covers every entry — so a new family cannot drift out of
+// the help output.
+type Family struct {
+	// Name is the -exp value.
+	Name string
+	// Desc is the one-line help text.
+	Desc string
+}
+
+// Families lists the experiment families in presentation order. "all"
+// runs every family above it.
+func Families() []Family {
+	return []Family{
+		{Name: "lvl", Desc: "latency vs load + SLA (Fig. 7)"},
+		{Name: "policies", Desc: "seven-policy comparison (Figs. 8/9)"},
+		{Name: "fig2", Desc: "ondemand invocation-period sweep (Fig. 2)"},
+		{Name: "headline", Desc: "abstract's energy-saving claims"},
+		{Name: "ablations", Desc: "design-choice ablations"},
+		{Name: "extensions", Desc: "Sec. 7 multi-queue and TOE extensions"},
+		{Name: "e11", Desc: "policies on a degraded fabric"},
+		{Name: "e12", Desc: "policies under generated traffic scenarios"},
+		{Name: "all", Desc: "everything"},
+	}
+}
+
+// FamilyNames returns the comma-separated -exp values for usage text.
+func FamilyNames() string {
+	fams := Families()
+	names := make([]string, len(fams))
+	for i, f := range fams {
+		names[i] = f.Name
+	}
+	return strings.Join(names, ", ")
+}

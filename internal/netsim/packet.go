@@ -74,6 +74,10 @@ type Packet struct {
 	Seg, SegCount int
 	// SentAt is stamped when the packet enters the sender's NIC tx path.
 	SentAt sim.Time
+	// RespHint, on a request, pins the server's response body size in
+	// bytes (trace replay carries recorded sizes); zero lets the server
+	// draw from its profile. Like Kind, the NIC hardware never reads it.
+	RespHint int
 	// Corrupt marks a frame whose bits were flipped in transit (fault
 	// injection). The receiving NIC's FCS check detects it and drops the
 	// frame instead of delivering garbage upward.

@@ -99,6 +99,19 @@ type Faults struct {
 	DupResent     int64 `json:"dup_resent"`
 }
 
+// Traffic is the coordinated-omission accounting of a replayed or
+// recorded arrival schedule: the schedule's canonical hash, the sends it
+// intended inside the measurement window, and how far actual
+// transmission slipped behind it (latency percentiles already charge
+// from the schedule; this is the backlog evidence).
+type Traffic struct {
+	TraceHash      string `json:"trace_hash,omitempty"`
+	IntendedSends  int64  `json:"intended_sends"`
+	LaggedSends    int64  `json:"lagged_sends,omitempty"`
+	SendLagMaxNs   int64  `json:"send_lag_max_ns,omitempty"`
+	SendLagTotalNs int64  `json:"send_lag_total_ns,omitempty"`
+}
+
 // Run is one simulation's result with stable JSON field names. It wraps
 // cluster.Result: every value is copied, units are explicit, and nothing
 // wall-clock-dependent is included.
@@ -131,6 +144,11 @@ type Run struct {
 	CITWakes            int64 `json:"cit_wakes,omitempty"`
 	PStateTransitions   int64 `json:"pstate_transitions,omitempty"`
 	GovernorInvocations int64 `json:"governor_invocations,omitempty"`
+
+	// Traffic carries the replay/recording accounting of scenario- or
+	// trace-driven runs (see internal/workload); absent for the built-in
+	// stationary traffic.
+	Traffic *Traffic `json:"traffic,omitempty"`
 
 	Events uint64 `json:"sim_events,omitempty"`
 
@@ -184,6 +202,15 @@ func FromResult(tag string, r cluster.Result) Run {
 			Delays:        r.FaultDelays,
 			DupSuppressed: r.DupSuppressed,
 			DupResent:     r.DupResent,
+		}
+	}
+	if r.TraceHash != "" || r.IntendedSends > 0 {
+		run.Traffic = &Traffic{
+			TraceHash:      r.TraceHash,
+			IntendedSends:  r.IntendedSends,
+			LaggedSends:    r.LaggedSends,
+			SendLagMaxNs:   int64(r.SendLagMax),
+			SendLagTotalNs: int64(r.SendLagTotal),
 		}
 	}
 	if len(r.CResidency) > 0 {

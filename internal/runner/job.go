@@ -70,7 +70,15 @@ func (j Job) Key() string {
 // audit exists to run. Config.Telemetry and Config.Audit are likewise
 // excluded from Key (json:"-"): a handle is identity-free and auditing is
 // pure observation, so neither must change which cache entry the config
-// denotes.
+// denotes. Trace-recording runs (Config.Traffic.Record) always execute
+// too: their value is the captured schedule (Result.Recorded), which the
+// cache does not serialize — but unlike Telemetry, Record IS part of the
+// key, because it changes nothing about the Result and a recorded run may
+// validly share its entry with a plain run of the same config only if the
+// field is serialized consistently; keeping it keyed is the conservative
+// choice. A replayed trace participates in the key through its canonical
+// hash (Spec.TraceHash), so trace-replay jobs cache normally.
 func (j Job) Cacheable() bool {
-	return j.Config.TraceInterval == 0 && j.Config.Telemetry == nil && !j.Config.Audit
+	return j.Config.TraceInterval == 0 && j.Config.Telemetry == nil &&
+		!j.Config.Audit && !j.Config.Recording()
 }

@@ -1,0 +1,43 @@
+package stats
+
+import "ncap/internal/sim"
+
+// LagMeter accounts intended versus actual send times for an open-loop
+// schedule — the coordinated-omission report. Count is every scheduled
+// send; Lagged those whose actual transmission slipped behind the
+// schedule (pacing backlog); Total and Max summarize the slip. Latency
+// itself is charged from the scheduled time upstream, so the meter is
+// the *evidence* of backlog, not a correction factor.
+type LagMeter struct {
+	Count  int64
+	Lagged int64
+	Total  sim.Duration
+	Max    sim.Duration
+}
+
+// Record accounts one scheduled send with the given slip (actual minus
+// scheduled time; non-positive means on schedule).
+func (m *LagMeter) Record(lag sim.Duration) {
+	m.Count++
+	if lag <= 0 {
+		return
+	}
+	m.Lagged++
+	m.Total += lag
+	if lag > m.Max {
+		m.Max = lag
+	}
+}
+
+// Add folds another meter in (per-client meters merge into the Result).
+func (m *LagMeter) Add(o LagMeter) {
+	m.Count += o.Count
+	m.Lagged += o.Lagged
+	m.Total += o.Total
+	if o.Max > m.Max {
+		m.Max = o.Max
+	}
+}
+
+// Reset zeroes the meter (the warmup boundary).
+func (m *LagMeter) Reset() { *m = LagMeter{} }

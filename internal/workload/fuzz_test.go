@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTrace: the parser must never panic, hang, or accept a
+// document that fails re-validation — malformed JSONL, out-of-order
+// timestamps, truncated files and garbage all return errors.
+func FuzzParseTrace(f *testing.F) {
+	var sb strings.Builder
+	if err := sampleTrace().Write(&sb); err != nil {
+		f.Fatal(err)
+	}
+	good := sb.String()
+	f.Add(good)
+	f.Add("")
+	f.Add("{}\n")
+	f.Add(`{"schema":"ncap-trace-v1","clients":1}` + "\n")
+	f.Add(`{"schema":"ncap-trace-v1","clients":1}` + "\n" + `{"records":0}` + "\n")
+	f.Add(`{"schema":"ncap-trace-v9","clients":1}` + "\n" + `{"records":0}` + "\n")
+	f.Add(`{"schema":"ncap-trace-v1","clients":1}` + "\n" +
+		`{"t_ns":5,"client":0,"req_bytes":64}` + "\n" +
+		`{"t_ns":1,"client":0,"req_bytes":64}` + "\n" + `{"records":2}` + "\n")
+	f.Add(good[:len(good)/3])                        // truncated mid-record
+	f.Add(good + good)                               // two documents
+	f.Add(strings.ReplaceAll(good, `"t_ns"`, `"T"`)) // unknown fields
+	f.Add("\x00\x01\x02\njunk\n")
+	f.Add(`{"schema":"ncap-trace-v1","clients":4097}` + "\n" + `{"records":0}` + "\n")
+	f.Add(`{"schema":"ncap-trace-v1","clients":1,"min_gap_ns":-5}` + "\n" + `{"records":0}` + "\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ParseTrace([]byte(data))
+		if err != nil {
+			return
+		}
+		// Anything the parser accepts must satisfy the validator and
+		// round-trip through the canonical serialization.
+		if verr := tr.Validate(); verr != nil {
+			t.Fatalf("parser accepted an invalid trace: %v", verr)
+		}
+		var out strings.Builder
+		if werr := tr.Write(&out); werr != nil {
+			t.Fatalf("accepted trace does not serialize: %v", werr)
+		}
+		back, rerr := ParseTrace([]byte(out.String()))
+		if rerr != nil {
+			t.Fatalf("canonical serialization does not re-parse: %v", rerr)
+		}
+		if back.Hash() != tr.Hash() {
+			t.Fatal("canonical round trip changed the hash")
+		}
+	})
+}

@@ -1,0 +1,418 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"ncap/internal/sim"
+)
+
+// Built-in scenario names.
+const (
+	// ScenarioStationary is the legacy built-in burst-client traffic: a
+	// run configured with it is byte-identical to one with no Spec at
+	// all. It exists so scenario sweeps carry their own baseline row.
+	ScenarioStationary = "stationary"
+	// ScenarioDiurnal modulates the arrival rate sinusoidally — the
+	// day/night load curve, compressed to simulation scale.
+	ScenarioDiurnal = "diurnal"
+	// ScenarioFlashCrowd holds a steady base rate, then steps to a peak
+	// and decays back exponentially (a link on the front page).
+	ScenarioFlashCrowd = "flashcrowd"
+	// ScenarioHeavyTail keeps Poisson arrivals but draws response sizes
+	// from a bounded Pareto — a few responses dominate the bytes.
+	ScenarioHeavyTail = "heavytail"
+	// ScenarioIncast fires fan-in beats: every client emits Fanin
+	// same-instant requests on distinct flows at a steady beat, the
+	// synchronized-reader pattern that stresses pacing and queues.
+	ScenarioIncast = "incast"
+	// ScenarioScaleOut spreads Poisson arrivals across many flows per
+	// client — the many-connection service mesh shape.
+	ScenarioScaleOut = "scaleout"
+)
+
+// ScenarioNames lists the built-in scenarios in presentation order.
+func ScenarioNames() []string {
+	return []string{
+		ScenarioStationary, ScenarioDiurnal, ScenarioFlashCrowd,
+		ScenarioHeavyTail, ScenarioIncast, ScenarioScaleOut,
+	}
+}
+
+// ScenarioUsage returns the comma-separated name list for CLI help.
+func ScenarioUsage() string { return strings.Join(ScenarioNames(), ", ") }
+
+// ParseScenario resolves a scenario name or returns an error listing the
+// valid names.
+func ParseScenario(name string) (Scenario, error) {
+	for _, n := range ScenarioNames() {
+		if name == n {
+			return Scenario{Name: name}, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("workload: unknown scenario %q (want %s)", name, ScenarioUsage())
+}
+
+// Scenario parameterizes one generated arrival schedule. Zero-valued
+// fields take per-scenario defaults (see withDefaults); the JSON form is
+// part of the cluster config, so every parameter is cache-keyed.
+type Scenario struct {
+	// Name selects the generator; empty means no scenario (legacy
+	// traffic, like ScenarioStationary).
+	Name string `json:"name,omitempty"`
+	// Flows is the per-client flow fan-out (scaleout; default 256).
+	Flows int `json:"flows,omitempty"`
+	// PeriodMs is the modulation period (diurnal; default 100) or beat
+	// period (incast; default 10) in simulated milliseconds.
+	PeriodMs float64 `json:"period_ms,omitempty"`
+	// Amp is the diurnal modulation depth in [0,1] (default 0.75).
+	Amp float64 `json:"amp,omitempty"`
+	// Peak is the flash-crowd rate multiplier at onset (default 3).
+	Peak float64 `json:"peak,omitempty"`
+	// StartFrac places the flash-crowd onset as a fraction of the
+	// generation horizon (default 0.4).
+	StartFrac float64 `json:"start_frac,omitempty"`
+	// DecayMs is the flash-crowd exponential decay constant (default 50).
+	DecayMs float64 `json:"decay_ms,omitempty"`
+	// Alpha is the bounded-Pareto shape (heavytail; default 1.3).
+	Alpha float64 `json:"alpha,omitempty"`
+	// MinRespBytes/MaxRespBytes bound the Pareto response sizes
+	// (heavytail; defaults 128 and 262144).
+	MinRespBytes int `json:"min_resp_bytes,omitempty"`
+	MaxRespBytes int `json:"max_resp_bytes,omitempty"`
+	// Fanin is the per-beat same-instant request count (incast;
+	// default 32).
+	Fanin int `json:"fanin,omitempty"`
+	// PaceNs is the per-client pacing floor the generated trace carries
+	// (MinGap); zero takes the profile's request spacing.
+	PaceNs int64 `json:"pace_ns,omitempty"`
+}
+
+// Replay reports whether the scenario replays a generated schedule
+// (anything but empty/stationary).
+func (s Scenario) Replay() bool { return s.Name != "" && s.Name != ScenarioStationary }
+
+// Validate reports parameter errors.
+func (s Scenario) Validate() error {
+	if s.Name != "" {
+		if _, err := ParseScenario(s.Name); err != nil {
+			return err
+		}
+	}
+	switch {
+	case s.Flows < 0 || s.Flows > maxFlowID:
+		return fmt.Errorf("workload: scenario flows %d out of range [0, %d]", s.Flows, maxFlowID)
+	case s.PeriodMs < 0 || s.DecayMs < 0:
+		return fmt.Errorf("workload: scenario periods must be non-negative")
+	case s.Amp < 0 || s.Amp > 1:
+		return fmt.Errorf("workload: scenario amp %g out of range [0,1]", s.Amp)
+	case s.Peak != 0 && s.Peak < 1:
+		return fmt.Errorf("workload: scenario peak %g must be >= 1", s.Peak)
+	case s.StartFrac < 0 || s.StartFrac >= 1:
+		return fmt.Errorf("workload: scenario start fraction %g out of range [0,1)", s.StartFrac)
+	case s.Alpha < 0:
+		return fmt.Errorf("workload: scenario alpha %g must be positive", s.Alpha)
+	case s.MinRespBytes < 0 || s.MaxRespBytes < 0 || s.MaxRespBytes > maxRespBytes:
+		return fmt.Errorf("workload: scenario response bounds out of range")
+	case s.MinRespBytes > 0 && s.MaxRespBytes > 0 && s.MinRespBytes > s.MaxRespBytes:
+		return fmt.Errorf("workload: scenario min response %d above max %d", s.MinRespBytes, s.MaxRespBytes)
+	case s.Fanin < 0 || s.Fanin > 1024:
+		return fmt.Errorf("workload: scenario fanin %d out of range [0, 1024]", s.Fanin)
+	case s.PaceNs < 0 || s.PaceNs > int64(sim.Second):
+		return fmt.Errorf("workload: scenario pace %dns out of range [0, 1s]", s.PaceNs)
+	}
+	return nil
+}
+
+// withDefaults resolves zero-valued parameters to the per-scenario
+// defaults documented on the fields.
+func (s Scenario) withDefaults() Scenario {
+	def := func(v *float64, d float64) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	switch s.Name {
+	case ScenarioDiurnal:
+		def(&s.PeriodMs, 100)
+		def(&s.Amp, 0.75)
+	case ScenarioFlashCrowd:
+		def(&s.Peak, 3)
+		def(&s.StartFrac, 0.4)
+		def(&s.DecayMs, 50)
+	case ScenarioHeavyTail:
+		def(&s.Alpha, 1.3)
+		if s.MinRespBytes == 0 {
+			s.MinRespBytes = 128
+		}
+		if s.MaxRespBytes == 0 {
+			s.MaxRespBytes = 256 * 1024
+		}
+	case ScenarioIncast:
+		def(&s.PeriodMs, 10)
+		if s.Fanin == 0 {
+			s.Fanin = 32
+		}
+	case ScenarioScaleOut:
+		if s.Flows == 0 {
+			s.Flows = 256
+		}
+	}
+	return s
+}
+
+// peakFactor bounds the scenario's instantaneous rate relative to the
+// mean offered load (for record-count estimation).
+func (s Scenario) peakFactor() float64 {
+	r := s.withDefaults()
+	switch r.Name {
+	case ScenarioDiurnal:
+		return 1 + r.Amp
+	case ScenarioFlashCrowd:
+		return r.Peak
+	}
+	return 1
+}
+
+// EstimateRecords upper-bounds the generated record count so configs can
+// be rejected before an oversized generation is attempted.
+func (s Scenario) EstimateRecords(loadRPS float64, horizon sim.Duration) int64 {
+	return int64(loadRPS*horizon.Seconds()*s.peakFactor()*1.25) + 64
+}
+
+// GenParams carries the cluster-side inputs to trace generation. The
+// package deliberately does not import the application profile; the
+// cluster passes the few fields the generators need.
+type GenParams struct {
+	// LoadRPS is the mean aggregate offered load across all clients.
+	LoadRPS float64
+	// Clients is the client fan-out; each gets a private RNG stream.
+	Clients int
+	// Horizon is the schedule length (warmup + measurement window).
+	Horizon sim.Duration
+	// Seed is the run seed the per-client streams derive from.
+	Seed uint64
+	// ReqBytes is the request payload size (the profile's).
+	ReqBytes int
+	// Pace is the default pacing floor (the profile's request spacing),
+	// used when the scenario does not set its own.
+	Pace sim.Duration
+}
+
+// Generate builds the scenario's trace. Determinism: client i's records
+// come from the stream seeded (Seed, "workload/<name>/client<i>") drawn
+// in event order, then a stable k-way merge — the same trace at any
+// worker count, and a different stream per scenario so editing one never
+// perturbs another.
+func (s Scenario) Generate(p GenParams) (*Trace, error) {
+	sc := s.withDefaults()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if !sc.Replay() {
+		return nil, fmt.Errorf("workload: scenario %q drives the built-in burst clients and has no trace", s.Name)
+	}
+	switch {
+	case p.LoadRPS <= 0:
+		return nil, fmt.Errorf("workload: generation needs a positive load")
+	case p.Clients < 1 || p.Clients > maxTraceClients:
+		return nil, fmt.Errorf("workload: generation clients %d out of range [1, %d]", p.Clients, maxTraceClients)
+	case p.Horizon <= 0 || p.Horizon > maxTraceTime:
+		return nil, fmt.Errorf("workload: generation horizon %v out of range", p.Horizon)
+	}
+	if p.ReqBytes < minReqBytes {
+		p.ReqBytes = minReqBytes
+	}
+	if p.ReqBytes > maxReqBytes {
+		p.ReqBytes = maxReqBytes
+	}
+	if est := sc.EstimateRecords(p.LoadRPS, p.Horizon); est > MaxTraceRecords {
+		return nil, fmt.Errorf("workload: scenario %s at %.0f rps over %v needs ~%d records (limit %d); shorten the windows or lower the load",
+			sc.Name, p.LoadRPS, p.Horizon, est, MaxTraceRecords)
+	}
+
+	pace := sim.Duration(sc.PaceNs)
+	if pace == 0 {
+		pace = p.Pace
+	}
+	r0 := p.LoadRPS / float64(p.Clients)
+	perClient := make([][]Record, p.Clients)
+	for i := 0; i < p.Clients; i++ {
+		rng := sim.NewRand(p.Seed, fmt.Sprintf("workload/%s/client%d", sc.Name, i))
+		perClient[i] = sc.genClient(p, i, r0, rng)
+	}
+
+	t := &Trace{Clients: p.Clients, MinGap: pace}
+	t.Records = mergeByTime(perClient)
+	if len(t.Records) > MaxTraceRecords {
+		return nil, fmt.Errorf("workload: scenario %s generated %d records (limit %d)", sc.Name, len(t.Records), MaxTraceRecords)
+	}
+	return t, nil
+}
+
+// genClient generates one client's records in time order. The receiver
+// is already default-resolved and validated.
+func (s Scenario) genClient(p GenParams, client int, r0 float64, rng *sim.Rand) []Record {
+	rec := func(t sim.Time) Record {
+		return Record{T: t, Client: client, Req: p.ReqBytes}
+	}
+	switch s.Name {
+	case ScenarioDiurnal:
+		period := msToDur(s.PeriodMs)
+		amp := s.Amp
+		times := poissonTimes(rng, r0*(1+amp), p.Horizon, func(t sim.Time) float64 {
+			return r0 * (1 + amp*math.Sin(2*math.Pi*float64(t)/float64(period)))
+		})
+		out := make([]Record, len(times))
+		for i, t := range times {
+			out[i] = rec(t)
+		}
+		return out
+
+	case ScenarioFlashCrowd:
+		t0 := sim.Time(s.StartFrac * float64(p.Horizon))
+		decay := msToDur(s.DecayMs)
+		times := poissonTimes(rng, r0*s.Peak, p.Horizon, func(t sim.Time) float64 {
+			if t < t0 {
+				return r0
+			}
+			return r0 * (1 + (s.Peak-1)*math.Exp(-float64(t-t0)/float64(decay)))
+		})
+		out := make([]Record, len(times))
+		for i, t := range times {
+			out[i] = rec(t)
+		}
+		return out
+
+	case ScenarioHeavyTail:
+		times := poissonTimes(rng, r0, p.Horizon, nil)
+		out := make([]Record, len(times))
+		for i, t := range times {
+			out[i] = rec(t)
+			out[i].Resp = boundedPareto(rng, s.Alpha, s.MinRespBytes, s.MaxRespBytes)
+		}
+		return out
+
+	case ScenarioIncast:
+		beat := msToDur(s.PeriodMs)
+		// Beat cadence follows the offered load: each beat carries Fanin
+		// requests, so beats arrive every Fanin/r0 seconds, at the
+		// configured period when that matches the default load.
+		if r0 > 0 {
+			beat = sim.Duration(float64(s.Fanin) / r0 * float64(sim.Second))
+		}
+		if beat < 1 {
+			beat = 1
+		}
+		var out []Record
+		offset := beat * sim.Duration(client) / sim.Duration(p.Clients)
+		for t := offset; t < p.Horizon; t += beat {
+			// Per-beat jitter desynchronizes clients without reordering
+			// (jitter stays well under the beat gap).
+			at := t + rng.Duration(0, beat/8)
+			if at >= p.Horizon {
+				break
+			}
+			for f := 0; f < s.Fanin; f++ {
+				r := rec(at)
+				r.Flow = f
+				out = append(out, r)
+			}
+		}
+		return out
+
+	case ScenarioScaleOut:
+		times := poissonTimes(rng, r0, p.Horizon, nil)
+		out := make([]Record, len(times))
+		for i, t := range times {
+			out[i] = rec(t)
+			out[i].Flow = rng.Intn(s.Flows)
+		}
+		return out
+	}
+	return nil
+}
+
+// poissonTimes draws a (possibly nonhomogeneous) Poisson arrival process
+// on [0, horizon) by thinning against lambdaMax: candidates arrive at
+// rate lambdaMax and survive with probability intensity(t)/lambdaMax. A
+// nil intensity is the homogeneous process at lambdaMax.
+func poissonTimes(rng *sim.Rand, lambdaMax float64, horizon sim.Duration, intensity func(sim.Time) float64) []sim.Time {
+	if lambdaMax <= 0 {
+		return nil
+	}
+	meanGap := sim.Duration(float64(sim.Second) / lambdaMax)
+	if meanGap < 1 {
+		meanGap = 1
+	}
+	var out []sim.Time
+	t := sim.Time(0)
+	for {
+		gap := rng.Exp(meanGap)
+		if gap < 1 {
+			gap = 1 // integer-ns clock: always advance
+		}
+		t += gap
+		if t >= horizon {
+			return out
+		}
+		if intensity == nil || rng.Float64()*lambdaMax <= intensity(t) {
+			out = append(out, t)
+		}
+	}
+}
+
+// boundedPareto draws from a Pareto(alpha) truncated to [lo, hi] via the
+// inverse CDF.
+func boundedPareto(rng *sim.Rand, alpha float64, lo, hi int) int {
+	if lo >= hi {
+		return lo
+	}
+	u := rng.Float64()
+	l, h := float64(lo), float64(hi)
+	ratio := math.Pow(l/h, alpha)
+	x := l / math.Pow(1-u*(1-ratio), 1/alpha)
+	if x < l {
+		x = l
+	}
+	if x > h {
+		x = h
+	}
+	return int(x)
+}
+
+// mergeByTime merges per-client time-sorted record slices into one
+// globally non-decreasing stream; ties break by client index, giving the
+// same-instant FIFO order replay preserves.
+func mergeByTime(perClient [][]Record) []Record {
+	total := 0
+	for _, recs := range perClient {
+		total += len(recs)
+	}
+	out := make([]Record, 0, total)
+	idx := make([]int, len(perClient))
+	for len(out) < total {
+		best := -1
+		var bestT sim.Time
+		for c, recs := range perClient {
+			if idx[c] >= len(recs) {
+				continue
+			}
+			if best == -1 || recs[idx[c]].T < bestT {
+				best, bestT = c, recs[idx[c]].T
+			}
+		}
+		out = append(out, perClient[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}
+
+func msToDur(ms float64) sim.Duration {
+	d := sim.Duration(ms * float64(sim.Millisecond))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}

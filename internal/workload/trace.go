@@ -1,0 +1,280 @@
+package workload
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"ncap/internal/sim"
+)
+
+// TraceSchema identifies the trace document format. The canonical
+// serialization is JSONL: a header line, one line per record in
+// non-decreasing timestamp order, and a trailer line carrying the record
+// count — so truncation is always detectable.
+const TraceSchema = "ncap-trace-v1"
+
+// Service classes. The empty class is latency-critical request/response
+// traffic; ClassBulk is one-way background traffic with no SLA (the
+// VM-migration/analytics stream of Sec. 4.1), which NCAP's templates
+// must not match.
+const (
+	ClassLatencyCritical = ""
+	ClassBulk            = "bulk"
+)
+
+// Format limits. They bound what a parser accepts from untrusted input;
+// the generators stay far inside them.
+const (
+	// MaxTraceRecords bounds a trace's size (~4M records keeps even a
+	// full-window high-load capture comfortably in memory).
+	MaxTraceRecords = 4 << 20
+	maxTraceClients = 4096
+	maxTraceTime    = sim.Time(1) << 60
+	minReqBytes     = 2 // NCAP's ReqMonitor matches at least two payload bytes
+	maxReqBytes     = 1 << 20
+	maxRespBytes    = 1 << 26
+	maxFlowID       = 1 << 20
+	maxLineBytes    = 1 << 16
+)
+
+// Record is one scheduled send. T is the *intended* send time: replay
+// charges latency from it even when pacing delays the actual send
+// (coordinated-omission safety).
+type Record struct {
+	// T is the scheduled send time in nanoseconds since run start.
+	T sim.Time `json:"t_ns"`
+	// Client is the 0-based index of the sending client node.
+	Client int `json:"client"`
+	// Flow distinguishes concurrent flows from one client (incast and
+	// scale-out scenarios); purely an annotation for latency-critical
+	// traffic today.
+	Flow int `json:"flow,omitempty"`
+	// Req is the request payload size in bytes.
+	Req int `json:"req_bytes"`
+	// Resp, when positive, overrides the server's drawn response body
+	// size for this request (heavy-tail scenarios pin the distribution
+	// at the source). Zero lets the server draw from its profile.
+	Resp int `json:"resp_bytes,omitempty"`
+	// Class is the service class: "" latency-critical, "bulk" one-way
+	// background traffic.
+	Class string `json:"class,omitempty"`
+}
+
+// Trace is a parsed or generated arrival schedule.
+type Trace struct {
+	// Clients is the client fan-out the schedule was built for; records
+	// address clients by index below it.
+	Clients int
+	// MinGap is the per-client pacing floor: replay never sends two of a
+	// client's records closer than this, charging latency from the
+	// schedule when pacing lags. Zero for captured traces (their sends
+	// are already spaced).
+	MinGap sim.Duration
+	// Records are the sends, globally sorted by non-decreasing T.
+	Records []Record
+}
+
+// header and trailer are the first and last canonical JSONL lines.
+type traceHeader struct {
+	Schema   string `json:"schema"`
+	Clients  int    `json:"clients"`
+	MinGapNs int64  `json:"min_gap_ns,omitempty"`
+}
+
+type traceTrailer struct {
+	Records int `json:"records"`
+}
+
+// Validate reports format violations: client out of range, decreasing
+// timestamps, out-of-bounds sizes, unknown service classes.
+func (t *Trace) Validate() error {
+	if t.Clients < 1 || t.Clients > maxTraceClients {
+		return fmt.Errorf("workload: trace clients %d out of range [1, %d]", t.Clients, maxTraceClients)
+	}
+	if t.MinGap < 0 || t.MinGap > sim.Second {
+		return fmt.Errorf("workload: trace min gap %v out of range [0, 1s]", t.MinGap)
+	}
+	if len(t.Records) > MaxTraceRecords {
+		return fmt.Errorf("workload: trace has %d records (limit %d)", len(t.Records), MaxTraceRecords)
+	}
+	var prev sim.Time
+	for i := range t.Records {
+		if err := t.Records[i].validate(t.Clients, prev); err != nil {
+			return fmt.Errorf("record %d: %w", i, err)
+		}
+		prev = t.Records[i].T
+	}
+	return nil
+}
+
+func (r *Record) validate(clients int, prev sim.Time) error {
+	switch {
+	case r.T < 0 || r.T > maxTraceTime:
+		return fmt.Errorf("workload: timestamp %d out of range", int64(r.T))
+	case r.T < prev:
+		return fmt.Errorf("workload: timestamp %d decreases (previous %d)", int64(r.T), int64(prev))
+	case r.Client < 0 || r.Client >= clients:
+		return fmt.Errorf("workload: client %d out of range [0, %d)", r.Client, clients)
+	case r.Flow < 0 || r.Flow >= maxFlowID:
+		return fmt.Errorf("workload: flow %d out of range [0, %d)", r.Flow, maxFlowID)
+	case r.Req < minReqBytes || r.Req > maxReqBytes:
+		return fmt.Errorf("workload: request size %d out of range [%d, %d]", r.Req, minReqBytes, maxReqBytes)
+	case r.Resp < 0 || r.Resp > maxRespBytes:
+		return fmt.Errorf("workload: response size %d out of range [0, %d]", r.Resp, maxRespBytes)
+	case r.Class != ClassLatencyCritical && r.Class != ClassBulk:
+		return fmt.Errorf("workload: unknown service class %q", r.Class)
+	}
+	return nil
+}
+
+// Write emits the canonical serialization: header, records, trailer, one
+// JSON document per line. Hash is computed over exactly these bytes.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw) // Encode appends the newline itself
+	if err := enc.Encode(traceHeader{Schema: TraceSchema, Clients: t.Clients, MinGapNs: int64(t.MinGap)}); err != nil {
+		return err
+	}
+	for i := range t.Records {
+		if err := enc.Encode(&t.Records[i]); err != nil {
+			return err
+		}
+	}
+	if err := enc.Encode(traceTrailer{Records: len(t.Records)}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Hash returns the hex SHA-256 of the canonical serialization — the
+// trace's identity in the runner's content-addressed cache key.
+func (t *Trace) Hash() string {
+	h := sha256.New()
+	if err := t.Write(h); err != nil {
+		// sha256 never errors; Write only propagates writer failures.
+		panic(fmt.Sprintf("workload: hashing trace: %v", err))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ReadTrace parses and validates a canonical trace from r. It is strict:
+// unknown fields, out-of-order timestamps, out-of-range values, content
+// after the trailer and truncation (missing or short trailer) are all
+// errors. It never panics on malformed input (see FuzzParseTrace).
+func ReadTrace(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), maxLineBytes)
+
+	line, err := nextLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("workload: trace header: %w", err)
+	}
+	var hdr traceHeader
+	if err := strictUnmarshal(line, &hdr); err != nil {
+		return nil, fmt.Errorf("workload: trace header: %w", err)
+	}
+	if hdr.Schema != TraceSchema {
+		return nil, fmt.Errorf("workload: unknown trace schema %q (want %s)", hdr.Schema, TraceSchema)
+	}
+	t := &Trace{Clients: hdr.Clients, MinGap: sim.Duration(hdr.MinGapNs)}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+
+	var prev sim.Time
+	for {
+		line, err = nextLine(sc)
+		if err == io.EOF {
+			return nil, fmt.Errorf("workload: truncated trace: no trailer after %d records", len(t.Records))
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", len(t.Records)+2, err)
+		}
+		var tr traceTrailer
+		if strictUnmarshal(line, &tr) == nil {
+			if tr.Records != len(t.Records) {
+				return nil, fmt.Errorf("workload: trailer records %d, trace has %d", tr.Records, len(t.Records))
+			}
+			if _, err := nextLine(sc); err != io.EOF {
+				return nil, fmt.Errorf("workload: content after trace trailer")
+			}
+			return t, nil
+		}
+		if len(t.Records) >= MaxTraceRecords {
+			return nil, fmt.Errorf("workload: trace exceeds %d records", MaxTraceRecords)
+		}
+		var rec Record
+		if err := strictUnmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", len(t.Records)+2, err)
+		}
+		if err := rec.validate(t.Clients, prev); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", len(t.Records)+2, err)
+		}
+		prev = rec.T
+		t.Records = append(t.Records, rec)
+	}
+}
+
+// ParseTrace parses a trace from an in-memory document.
+func ParseTrace(data []byte) (*Trace, error) { return ReadTrace(bytes.NewReader(data)) }
+
+// ReadTraceFile loads a trace from a file.
+func ReadTraceFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := ReadTrace(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// WriteTraceFile writes the canonical serialization to a file.
+func WriteTraceFile(path string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// nextLine returns the next non-empty line, io.EOF at end of input.
+func nextLine(sc *bufio.Scanner) ([]byte, error) {
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) > 0 {
+			return line, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, io.EOF
+}
+
+// strictUnmarshal decodes one JSON document rejecting unknown fields and
+// trailing content — what discriminates record lines from the trailer.
+func strictUnmarshal(line []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing content after JSON document")
+	}
+	return nil
+}

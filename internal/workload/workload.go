@@ -1,0 +1,129 @@
+// Package workload defines the simulator's traffic subsystem: a
+// versioned, deterministic arrival-trace format (ncap-trace-v1), seeded
+// scenario generators for the load shapes datacenter studies treat as
+// first-class (diurnal curves, flash crowds, heavy-tailed responses,
+// incast fan-in, many-flow scale-out), and the spec that wires either
+// into a cluster run.
+//
+// Determinism contract: a generated trace is a pure function of
+// (scenario, generation parameters, seed) — each client draws from its
+// own private random stream in event order, so the byte-identical trace
+// comes out at any worker count. A trace's canonical serialization has a
+// SHA-256 hash that participates in the runner's content-addressed cache
+// key, so two configs replaying the same schedule share a cache entry
+// and two configs replaying different schedules never collide.
+//
+// Coordinated omission: replayed arrivals carry their *scheduled* send
+// time. When pacing (the trace's min-gap) delays an actual send, latency
+// is still charged from the schedule — the wrk2 correction — and the
+// intended-vs-actual backlog is reported alongside the percentiles.
+package workload
+
+import (
+	"fmt"
+
+	"ncap/internal/sim"
+)
+
+// Spec selects the traffic source for a cluster run. The zero value (and
+// a nil *Spec) is the legacy built-in burst-client traffic; a Trace or a
+// non-stationary Scenario switches the clients to schedule replay.
+type Spec struct {
+	// Scenario selects a generated arrival schedule by name (see
+	// scenario.go). The empty name and ScenarioStationary both mean "the
+	// built-in burst clients" — a run so configured is byte-identical to
+	// one with no Spec at all.
+	Scenario Scenario `json:"scenario"`
+	// TraceHash is the canonical SHA-256 of the replayed trace. It is the
+	// trace's identity in the runner's cache key (the records themselves
+	// are not serialized into the config), so it is required whenever
+	// Trace is set; SpecForTrace fills it in.
+	TraceHash string `json:"trace_hash,omitempty"`
+	// Record captures the run's arrival schedule as a trace
+	// (cluster.Result.Recorded) for replay. Recording runs are never
+	// cached: the cache stores results, not traces.
+	Record bool `json:"record,omitempty"`
+	// Trace is the schedule to replay. Live data, excluded from config
+	// serialization; TraceHash stands in for it in the cache key.
+	Trace *Trace `json:"-"`
+}
+
+// SpecForTrace returns a replay spec for the given trace with its cache
+// identity (TraceHash) filled in.
+func SpecForTrace(t *Trace) *Spec {
+	return &Spec{Trace: t, TraceHash: t.Hash()}
+}
+
+// Replay reports whether the spec replays a schedule (a trace or a
+// generated scenario) instead of running the built-in burst clients.
+func (s *Spec) Replay() bool {
+	return s != nil && (s.Trace != nil || s.Scenario.Replay())
+}
+
+// Recording reports whether the run captures its arrival schedule.
+func (s *Spec) Recording() bool { return s != nil && s.Record }
+
+// Accounting reports whether intended-send accounting is active: replay
+// and recording runs both count scheduled sends and pacing lag so a
+// recorded run and its replay produce byte-identical results.
+func (s *Spec) Accounting() bool { return s.Replay() || s.Recording() }
+
+// Validate reports spec errors. clients is the cluster's client count; a
+// replayed trace must have been recorded against the same fan-out.
+func (s *Spec) Validate(clients int) error {
+	if s == nil {
+		return nil
+	}
+	if err := s.Scenario.Validate(); err != nil {
+		return err
+	}
+	if s.Trace != nil {
+		if s.Scenario.Replay() {
+			return fmt.Errorf("workload: trace and scenario %q are mutually exclusive", s.Scenario.Name)
+		}
+		if err := s.Trace.Validate(); err != nil {
+			return err
+		}
+		if s.Trace.Clients != clients {
+			return fmt.Errorf("workload: trace recorded with %d clients, cluster has %d", s.Trace.Clients, clients)
+		}
+		switch {
+		case s.TraceHash == "":
+			return fmt.Errorf("workload: replayed trace needs its TraceHash (use workload.SpecForTrace)")
+		case s.TraceHash != s.Trace.Hash():
+			return fmt.Errorf("workload: TraceHash %.12s... does not match the attached trace", s.TraceHash)
+		}
+	} else if s.TraceHash != "" {
+		return fmt.Errorf("workload: TraceHash set without a trace to replay")
+	}
+	return nil
+}
+
+// Capture accumulates a live run's sends into a trace. The cluster
+// installs one hook per client; hooks are invoked in engine fire order,
+// so the captured records come out globally time-sorted and the captured
+// trace replays the run exactly.
+type Capture struct {
+	trace Trace
+}
+
+// NewCapture returns a capture for the given client fan-out. minGap is
+// recorded as the trace's pacing floor: zero for live captures, whose
+// sends are already spaced by the schedule that produced them.
+func NewCapture(clients int, minGap sim.Duration) *Capture {
+	return &Capture{trace: Trace{Clients: clients, MinGap: minGap}}
+}
+
+// Hook returns the per-client send callback (app.Client.OnSend shape).
+func (c *Capture) Hook(client int) func(t sim.Time, flow, reqBytes, respBytes int, class string) {
+	return func(t sim.Time, flow, reqBytes, respBytes int, class string) {
+		c.trace.Records = append(c.trace.Records, Record{
+			T: t, Client: client, Flow: flow,
+			Req: reqBytes, Resp: respBytes, Class: class,
+		})
+	}
+}
+
+// Trace returns the captured schedule. The capture owns the backing
+// array until the run is over; callers take it afterwards.
+func (c *Capture) Trace() *Trace { return &c.trace }
