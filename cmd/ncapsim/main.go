@@ -46,10 +46,12 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "atomically rewrite this JSON file with the completed result, for -resume")
 		resume     = flag.String("resume", "", "replay the result from this checkpoint file instead of re-running (requires -checkpoint)")
 		faults     cliflags.Faults
+		resil      cliflags.Resilience
 		traffic    cliflags.Traffic
 		out        cliflags.Output
 	)
 	faults.Register()
+	resil.Register()
 	traffic.Register()
 	out.Register(true)
 	flag.Parse()
@@ -75,6 +77,7 @@ func main() {
 	prof := cliflags.Workload(tool, *workload)
 	policy := cliflags.Policy(tool, *policyName)
 	faults.Validate(tool)
+	resil.Validate(tool)
 	traffic.Validate(tool)
 	rps := *load
 	if rps == 0 {
@@ -86,6 +89,7 @@ func main() {
 	cfg.Warmup = sim.Duration(warmup.Nanoseconds())
 	cfg.Seed = *seed
 	faults.Apply(&cfg)
+	resil.Apply(&cfg)
 	traffic.Apply(tool, &cfg)
 	if err := cfg.Validate(); err != nil {
 		cliflags.Fatalf(tool, "%v", err)

@@ -98,6 +98,11 @@ var handlers = map[string]func(o experiments.Options, profiles []app.Profile){
 			experiments.RenderScenarios(os.Stdout, o, prof)
 		}
 	},
+	"e13": func(o experiments.Options, profiles []app.Profile) {
+		for _, prof := range profiles {
+			experiments.RenderOverload(os.Stdout, o, prof)
+		}
+	},
 	"all": nil, // resolved in main: runs every other family in registry order
 }
 
@@ -124,12 +129,15 @@ func main() {
 		full     = flag.Bool("full", false, "use the full measurement windows")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		rn       cliflags.Runner
+		res      cliflags.Resilience
 		out      cliflags.Output
 	)
 	rn.Register(runtime.GOMAXPROCS(0))
+	res.Register()
 	out.Register(false)
 	flag.Parse()
 	rn.Validate(tool)
+	res.Validate(tool)
 	stopProf := out.StartPprof(tool)
 	defer stopProf()
 
@@ -138,6 +146,7 @@ func main() {
 		o = experiments.Full()
 	}
 	o.Seed = *seed
+	o.Overload = res.Spec()
 
 	// -audit forces outcome recording even without -json: the violation
 	// summary below needs every outcome, not just the batch counters.

@@ -46,8 +46,10 @@ func main() {
 		auditOn    = flag.Bool("audit", false, "run with the runtime invariant auditor; violations are reported and fail the run")
 		checkpoint = flag.String("checkpoint", "", "atomically rewrite this JSON file with completed results after every job, for -resume")
 		resume     = flag.String("resume", "", "replay completed jobs from this checkpoint file instead of re-running them (requires -checkpoint)")
+		res        cliflags.Resilience
 		output     cliflags.Output
 	)
+	res.Register()
 	output.Register(false)
 	flag.Parse()
 	stopProf := output.StartPprof(tool)
@@ -55,6 +57,7 @@ func main() {
 	if *lossP < 0 || *lossP > 1 {
 		cliflags.Fatalf(tool, "-loss %v: must be a probability in [0,1]", *lossP)
 	}
+	res.Validate(tool)
 	if *resume != "" && *checkpoint == "" {
 		cliflags.Fatalf(tool, "-resume requires -checkpoint (point both at the same file to continue it)")
 	}
@@ -90,6 +93,9 @@ func main() {
 	// (see internal/workload); the sampler then traces NCAP's response to
 	// a load shape that actually shifts.
 	var mutate []func(*cluster.Config)
+	if res.Any() {
+		mutate = append(mutate, func(c *cluster.Config) { res.Apply(c) })
+	}
 	if *scenario != "" {
 		sc, err := wl.ParseScenario(*scenario)
 		if err != nil {

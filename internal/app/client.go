@@ -2,6 +2,7 @@ package app
 
 import (
 	"ncap/internal/netsim"
+	"ncap/internal/resilience"
 	"ncap/internal/sim"
 	"ncap/internal/stats"
 	"ncap/internal/telemetry"
@@ -30,6 +31,15 @@ type ClientConfig struct {
 	Backoff bool
 	// BackoffCap bounds the backed-off RTO; zero means 8×RTO.
 	BackoffCap sim.Duration
+	// Deadline is the end-to-end completion deadline per request,
+	// distinct from the per-hop RTO: at the deadline the request fails
+	// terminally (no further retransmissions), and a response arriving
+	// past it no longer counts as completed. Zero disables.
+	Deadline sim.Duration
+	// JitterBackoff adds a uniform [0, RTO/4] jitter (drawn from the
+	// client's seeded stream) to every backed-off retransmission timeout,
+	// so synchronized retry storms decohere.
+	JitterBackoff bool
 }
 
 // DefaultClientConfig returns a burst client shaped like the paper's:
@@ -46,11 +56,12 @@ func DefaultClientConfig() ClientConfig {
 
 // pendingReq tracks one outstanding request.
 type pendingReq struct {
-	sent    sim.Time // scheduled first transmission (latency is measured from here)
-	got     uint64   // bitmask of distinct response segments received
-	need    int      // segments expected (learned from the first segment)
-	retries int
-	timer   *sim.Timer
+	sent     sim.Time // scheduled first transmission (latency is measured from here)
+	deadline sim.Time // absolute completion deadline (zero = none)
+	got      uint64   // bitmask of distinct response segments received
+	need     int      // segments expected (learned from the first segment)
+	retries  int
+	timer    *sim.Timer
 	// payload and respHint override the client's defaults for replayed
 	// requests (per-record sizes); retransmissions reuse them so a
 	// resend is byte-identical to the original.
@@ -116,6 +127,21 @@ type Client struct {
 	CorruptDrops stats.Counter
 	// BulkSent counts one-way bulk-class frames emitted during replay.
 	BulkSent stats.Counter
+
+	// Budget is the token-bucket retry allowance; nil (the default) is
+	// unbounded retries. Set before Start.
+	Budget *resilience.Budget
+	// Breaker is the per-client circuit breaker; nil never trips. Set
+	// before Start.
+	Breaker *resilience.Breaker
+	// DeadlineExceeded counts requests that failed their end-to-end
+	// deadline (timer expiry past the deadline, or a response arriving
+	// too late to count); BudgetDenied counts retries converted to
+	// terminal failures by an empty retry budget; BreakerDropped counts
+	// sends the open breaker refused locally.
+	DeadlineExceeded stats.Counter
+	BudgetDenied     stats.Counter
+	BreakerDropped   stats.Counter
 }
 
 // NewClient builds a client. uplink must lead to the switch; payload is
@@ -172,6 +198,9 @@ func (c *Client) BeginMeasurement() {
 	c.Abandoned.Reset()
 	c.CorruptDrops.Reset()
 	c.BulkSent.Reset()
+	c.DeadlineExceeded.Reset()
+	c.BudgetDenied.Reset()
+	c.BreakerDropped.Reset()
 	c.Lag.Reset()
 }
 
@@ -206,6 +235,12 @@ func (c *Client) sendNew() {
 		// count equal to its replay's.
 		c.Lag.Record(0)
 	}
+	// The breaker gates before trace capture: a locally dropped send never
+	// reached the wire, so a recorded trace must not contain it.
+	if !c.Breaker.Allow(c.eng.Now()) {
+		c.BreakerDropped.Inc()
+		return
+	}
 	if c.OnSend != nil {
 		c.OnSend(c.eng.Now(), 0, len(c.payload), 0, "")
 	}
@@ -213,8 +248,12 @@ func (c *Client) sendNew() {
 	c.nextSeq++
 	id := uint64(c.addr)<<40 | seq
 	pr := &pendingReq{sent: c.eng.Now()}
+	if c.cfg.Deadline > 0 {
+		pr.deadline = c.eng.Now() + c.cfg.Deadline
+	}
 	c.pending[id] = pr
 	c.Sent.Inc()
+	c.Budget.Earn()
 	c.transmit(id, pr)
 }
 
@@ -249,15 +288,23 @@ func (c *Client) replaySend(it *ReplayItem) {
 		c.uplink.Send(pkt)
 		return
 	}
+	if !c.Breaker.Allow(c.eng.Now()) {
+		c.BreakerDropped.Inc()
+		return
+	}
 	seq := c.nextSeq
 	c.nextSeq++
 	id := uint64(c.addr)<<40 | seq
 	pr := &pendingReq{sent: it.Sched, respHint: it.RespHint}
+	if c.cfg.Deadline > 0 {
+		pr.deadline = c.eng.Now() + c.cfg.Deadline
+	}
 	if it.ReqBytes != len(c.payload) {
 		pr.payload = c.sizedPayload(&c.reqPayloads, it.ReqBytes, "")
 	}
 	c.pending[id] = pr
 	c.Sent.Inc()
+	c.Budget.Earn()
 	c.transmit(id, pr)
 }
 
@@ -291,14 +338,33 @@ func (c *Client) transmit(id uint64, pr *pendingReq) {
 	}
 	pkt := netsim.NewRequest(c.addr, c.server, id, payload)
 	pkt.RespHint = pr.respHint
+	pkt.Deadline = pr.deadline
 	c.uplink.Send(pkt)
-	if c.cfg.RTO <= 0 {
+	var to sim.Duration
+	if c.cfg.RTO > 0 {
+		to = c.rto(pr.retries)
+		if c.cfg.JitterBackoff && pr.retries > 0 {
+			to += c.rng.Duration(0, c.cfg.RTO/4)
+		}
+	}
+	if pr.deadline > 0 {
+		// Never arm past the deadline: with no RTO at all the deadline is
+		// still the request's terminal timer.
+		rem := pr.deadline - c.eng.Now()
+		if rem < 1 {
+			rem = 1
+		}
+		if to <= 0 || rem < to {
+			to = rem
+		}
+	}
+	if to <= 0 {
 		return
 	}
 	if pr.timer == nil {
 		pr.timer = sim.NewTimer(c.eng, func() { c.timeout(id) })
 	}
-	pr.timer.Arm(c.rto(pr.retries))
+	pr.timer.Arm(to)
 }
 
 // rto returns the retransmission timeout for the given retry count:
@@ -326,19 +392,39 @@ func (c *Client) timeout(id uint64) {
 	if !ok {
 		return
 	}
+	if pr.deadline > 0 && c.eng.Now() >= pr.deadline {
+		// The end-to-end deadline passed: terminal, no more retries.
+		c.DeadlineExceeded.Inc()
+		c.fail(id, pr)
+		return
+	}
 	if pr.retries >= c.cfg.MaxRetries {
 		// Give up; record the time wasted so the tail reflects the loss.
 		c.Abandoned.Inc()
-		if pr.sent >= c.measureFrom {
-			c.lat.Record(c.eng.Now() - pr.sent)
-			c.latHist.Record(c.eng.Now() - pr.sent)
-		}
-		delete(c.pending, id)
+		c.fail(id, pr)
+		return
+	}
+	if !c.Budget.TryRetry() {
+		// The retry budget is spent: amplifying load won't help, convert
+		// the retry into a terminal failure instead.
+		c.BudgetDenied.Inc()
+		c.fail(id, pr)
 		return
 	}
 	pr.retries++
 	c.Retransmits.Inc()
 	c.transmit(id, pr)
+}
+
+// fail terminates an outstanding request, recording its give-up latency
+// (so the tail reflects the loss) and feeding the circuit breaker.
+func (c *Client) fail(id uint64, pr *pendingReq) {
+	if pr.sent >= c.measureFrom {
+		c.lat.Record(c.eng.Now() - pr.sent)
+		c.latHist.Record(c.eng.Now() - pr.sent)
+	}
+	c.Breaker.Failure(c.eng.Now())
+	delete(c.pending, id)
 }
 
 // Receive implements netsim.Receiver for response segments. Corrupt
@@ -374,7 +460,15 @@ func (c *Client) Receive(p *netsim.Packet) {
 	if pr.timer != nil {
 		pr.timer.Stop()
 	}
-	c.Completed.Inc()
+	if pr.deadline > 0 && c.eng.Now() > pr.deadline {
+		// The full response arrived, but past the deadline: the caller has
+		// already moved on, so this is a failure, not goodput.
+		c.DeadlineExceeded.Inc()
+		c.Breaker.Failure(c.eng.Now())
+	} else {
+		c.Completed.Inc()
+		c.Breaker.Success()
+	}
 	if pr.sent >= c.measureFrom {
 		c.lat.Record(c.eng.Now() - pr.sent)
 		c.latHist.Record(c.eng.Now() - pr.sent)

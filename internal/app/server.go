@@ -6,8 +6,10 @@ import (
 	"ncap/internal/driver"
 	"ncap/internal/netsim"
 	"ncap/internal/oskernel"
+	"ncap/internal/resilience"
 	"ncap/internal/sim"
 	"ncap/internal/stats"
+	"ncap/internal/telemetry"
 )
 
 // DefaultDiskConcurrency is the storage path's internal parallelism.
@@ -40,9 +42,28 @@ type Server struct {
 	// experiments replay bit-identically.
 	Dedup bool
 
+	// DedupCap overrides the served-response memory bound (zero keeps
+	// dedupWindow). Set before traffic flows.
+	DedupCap int
+
 	dupInflight map[uint64]bool // requests currently being served
 	dupServed   map[uint64]int  // recently served request → response bytes
 	dupOrder    []uint64        // FIFO eviction ring over dupServed
+	dupHead     int             // consumed prefix of dupOrder
+
+	// Admission-control state (EnableAdmission; zero-valued when off, and
+	// the legacy socket path never reads it).
+	admitOn     bool
+	queueCap    int
+	maxInflight int
+	admitPolicy resilience.AdmitPolicy
+	codel       *resilience.CoDel
+	queue       []admitEntry
+	queueHead   int
+	queuePeak   int
+	svcEst      sim.Duration // smoothed dispatch→finish time (EWMA)
+	lastIdle    sim.Time
+	trace       *telemetry.EventTrace // shed/reject events (nil = off)
 
 	// Served counts completed requests; Ignored counts non-request
 	// packets reaching the socket layer; DiskReads counts cache misses.
@@ -53,7 +74,12 @@ type Server struct {
 	// flight; DupResent counts stored responses retransmitted.
 	DupSuppressed stats.Counter
 	DupResent     stats.Counter
-	Inflight      int
+	// Rejected counts arrivals refused at a full admission queue;
+	// ShedDeadline/ShedCoDel count dispatch-time sheds per policy.
+	Rejected     stats.Counter
+	ShedDeadline stats.Counter
+	ShedCoDel    stats.Counter
+	Inflight     int
 }
 
 // dedupWindow bounds the served-request memory. At the paper's highest
@@ -91,6 +117,10 @@ func (s *Server) HandleDelivered(p *netsim.Packet, pollCore int) {
 	}
 	if s.Dedup && s.absorbDuplicate(p, pollCore) {
 		return // absorbDuplicate released the packet
+	}
+	if s.admitOn {
+		s.admitRequest(p, pollCore)
+		return
 	}
 	s.Inflight++
 	cycles := s.profile.ParseCycles + s.serviceCycles()
@@ -169,18 +199,38 @@ func (s *Server) absorbDuplicate(p *netsim.Packet, pollCore int) bool {
 }
 
 // rememberServed moves a request from in-flight to the bounded
-// served-response memory, evicting the oldest entry past dedupWindow.
+// served-response memory, evicting the oldest entry past the window. The
+// eviction ring advances by head index and compacts once the consumed
+// prefix dominates, so a sustained retry storm cannot grow the backing
+// array without bound.
 func (s *Server) rememberServed(reqID uint64, body int) {
 	delete(s.dupInflight, reqID)
 	if _, dup := s.dupServed[reqID]; !dup {
 		s.dupOrder = append(s.dupOrder, reqID)
 	}
 	s.dupServed[reqID] = body
-	if len(s.dupOrder) > dedupWindow {
-		evict := s.dupOrder[0]
-		s.dupOrder = s.dupOrder[1:]
-		delete(s.dupServed, evict)
+	window := s.DedupCap
+	if window <= 0 {
+		window = dedupWindow
 	}
+	if len(s.dupOrder)-s.dupHead > window {
+		evict := s.dupOrder[s.dupHead]
+		s.dupHead++
+		delete(s.dupServed, evict)
+		if s.dupHead > 64 && s.dupHead*2 >= len(s.dupOrder) {
+			s.dupOrder = append(s.dupOrder[:0], s.dupOrder[s.dupHead:]...)
+			s.dupHead = 0
+		}
+	}
+}
+
+// DedupLen returns the served-response memory's current size (tests).
+func (s *Server) DedupLen() int { return len(s.dupServed) }
+
+// DedupRing returns the eviction ring's live length and backing capacity
+// (tests: both must stay bounded under a retry storm).
+func (s *Server) DedupRing() (live, backing int) {
+	return len(s.dupOrder) - s.dupHead, cap(s.dupOrder)
 }
 
 // ResetStats zeroes request accounting at the warmup boundary.
@@ -190,6 +240,11 @@ func (s *Server) ResetStats() {
 	s.DiskReads.Reset()
 	s.DupSuppressed.Reset()
 	s.DupResent.Reset()
+	s.Rejected.Reset()
+	s.ShedDeadline.Reset()
+	s.ShedCoDel.Reset()
+	s.queuePeak = s.QueueLen()
+	s.lastIdle = 0
 }
 
 func (s *Server) serviceCycles() int64 {

@@ -22,6 +22,7 @@ import (
 	"ncap/internal/app"
 	"ncap/internal/cluster"
 	"ncap/internal/fault"
+	"ncap/internal/resilience"
 	"ncap/internal/runner"
 	"ncap/internal/sim"
 	"ncap/internal/workload"
@@ -235,6 +236,82 @@ func (f *Faults) Apply(cfg *cluster.Config) {
 		ReorderP:   f.Reorder,
 		ReorderMax: sim.Duration(f.ReorderMax.Nanoseconds()),
 	})
+}
+
+// Resilience bundles the overload-protection flags (see
+// internal/resilience): end-to-end deadlines, server admission control,
+// retry budgets and circuit breakers. Spelled identically across all
+// three tools.
+type Resilience struct {
+	Deadline    time.Duration
+	Admit       string
+	QueueCap    int
+	RetryBudget float64
+	Breaker     int
+}
+
+// Register installs the resilience flags.
+func (r *Resilience) Register() {
+	flag.DurationVar(&r.Deadline, "deadline", 0, "end-to-end request deadline (0 disables); distinct from the per-hop RTO")
+	flag.StringVar(&r.Admit, "admit", "", "server admission policy ("+admitUsage()+"); empty with no other admission knob disables admission control")
+	flag.IntVar(&r.QueueCap, "queue-cap", 0, "server admission queue capacity (0 takes the default when admission is on)")
+	flag.Float64Var(&r.RetryBudget, "retry-budget", 0, "retry tokens earned per first send (token-bucket; 0 disables the budget)")
+	flag.IntVar(&r.Breaker, "breaker", 0, "open the per-client circuit breaker after this many consecutive failures (0 disables)")
+}
+
+func admitUsage() string {
+	names := make([]string, 0, 3)
+	for _, p := range resilience.AdmitPolicies() {
+		names = append(names, string(p))
+	}
+	return strings.Join(names, ", ")
+}
+
+// Validate rejects out-of-range resilience knobs with exit code 2.
+func (r *Resilience) Validate(tool string) {
+	switch {
+	case r.Deadline < 0:
+		Fatalf(tool, "-deadline %v: must be non-negative", r.Deadline)
+	case r.QueueCap < 0:
+		Fatalf(tool, "-queue-cap %d: must be non-negative", r.QueueCap)
+	case r.RetryBudget < 0:
+		Fatalf(tool, "-retry-budget %v: must be non-negative", r.RetryBudget)
+	case r.Breaker < 0:
+		Fatalf(tool, "-breaker %d: must be non-negative", r.Breaker)
+	}
+	switch resilience.AdmitPolicy(r.Admit) {
+	case "", resilience.AdmitDropTail, resilience.AdmitDeadline, resilience.AdmitCoDel:
+	default:
+		Fatalf(tool, "-admit %q: unknown admission policy (want %s)", r.Admit, admitUsage())
+	}
+}
+
+// Any reports whether any resilience knob is set.
+func (r *Resilience) Any() bool {
+	return r.Deadline > 0 || r.Admit != "" || r.QueueCap > 0 ||
+		r.RetryBudget > 0 || r.Breaker > 0
+}
+
+// Spec resolves the flags into a resilience spec, nil when nothing is
+// set (the legacy code paths, byte-identical with historical runs).
+func (r *Resilience) Spec() *resilience.Spec {
+	if !r.Any() {
+		return nil
+	}
+	return &resilience.Spec{
+		Deadline:         sim.Duration(r.Deadline.Nanoseconds()),
+		Admit:            resilience.AdmitPolicy(r.Admit),
+		QueueCap:         r.QueueCap,
+		RetryBudget:      r.RetryBudget,
+		BreakerThreshold: r.Breaker,
+	}
+}
+
+// Apply attaches the requested resilience spec to the config.
+func (r *Resilience) Apply(cfg *cluster.Config) {
+	if spec := r.Spec(); spec != nil {
+		cfg.Overload = spec
+	}
 }
 
 // Traffic bundles the workload-source flags: generated scenarios, trace

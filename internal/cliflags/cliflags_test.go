@@ -43,6 +43,28 @@ func TestFaultsApply(t *testing.T) {
 	}
 }
 
+func TestResilienceApply(t *testing.T) {
+	var cfg cluster.Config
+	var r Resilience
+	r.Apply(&cfg)
+	if cfg.Overload != nil {
+		t.Fatal("inert resilience flags still set cfg.Overload")
+	}
+	r = Resilience{Deadline: 5 * time.Millisecond, Admit: "codel", QueueCap: 128, RetryBudget: 0.2, Breaker: 4}
+	r.Apply(&cfg)
+	spec := cfg.Overload
+	if spec == nil {
+		t.Fatal("flags set but cfg.Overload is nil")
+	}
+	if spec.Deadline != 5_000_000 || spec.Admit != "codel" || spec.QueueCap != 128 ||
+		spec.RetryBudget != 0.2 || spec.BreakerThreshold != 4 {
+		t.Fatalf("spec %+v", spec)
+	}
+	if !spec.Enabled() {
+		t.Fatal("populated spec reports disabled")
+	}
+}
+
 func TestRunnerOptions(t *testing.T) {
 	r := Runner{Jobs: 3, Cache: "/c", Timeout: time.Minute, Retries: 2, Quiet: true}
 	o := r.Options(true)
@@ -65,6 +87,7 @@ func TestValidationExitCode(t *testing.T) {
 	for _, tc := range []string{
 		"jobs", "timeout", "retries", "loss", "reorder-max",
 		"workload", "policy", "level",
+		"deadline", "queue-cap", "retry-budget", "breaker", "admit",
 	} {
 		tc := tc
 		t.Run(tc, func(t *testing.T) {
@@ -99,6 +122,16 @@ func TestValidationHelper(t *testing.T) {
 		(&Faults{Loss: 1.5, ReorderMax: time.Millisecond}).Validate("t")
 	case "reorder-max":
 		(&Faults{ReorderMax: -time.Millisecond}).Validate("t")
+	case "deadline":
+		(&Resilience{Deadline: -time.Millisecond}).Validate("t")
+	case "queue-cap":
+		(&Resilience{QueueCap: -1}).Validate("t")
+	case "retry-budget":
+		(&Resilience{RetryBudget: -0.1}).Validate("t")
+	case "breaker":
+		(&Resilience{Breaker: -3}).Validate("t")
+	case "admit":
+		(&Resilience{Admit: "bogus"}).Validate("t")
 	case "workload":
 		Workload("t", "bogus")
 	case "policy":

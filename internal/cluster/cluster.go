@@ -156,7 +156,16 @@ func New(cfg Config) *Cluster {
 	server.Affine = cfg.Queues > 1
 	// A lossy fabric needs TCP's retransmission semantics on the server
 	// side too: absorb duplicate requests, retransmit stored responses.
-	server.Dedup = faultsOn
+	// The overload-resilience layer implies the same transport mode: its
+	// retry storms duplicate requests just as a lossy fabric does.
+	overload := cfg.Overload.Enabled()
+	server.Dedup = faultsOn || overload
+	if overload {
+		server.DedupCap = cfg.Overload.DedupCap
+		if cfg.Overload.Admission() {
+			server.EnableAdmission(cfg.Overload)
+		}
+	}
 	c.Server = server
 
 	// NCAP embodiments. Template programming models the driver-init
@@ -207,11 +216,22 @@ func New(cfg Config) *Cluster {
 		// exponentially, as TCP's would, so a crashed or flapping path
 		// is not hammered at a fixed cadence.
 		ccfg.Backoff = faultsOn
+		if overload {
+			// The resilience layer's client half: backoff always on, plus
+			// whatever the spec enables (deadlines, jitter).
+			ccfg.Backoff = true
+			ccfg.Deadline = cfg.Overload.Deadline
+			ccfg.JitterBackoff = cfg.Overload.JitterBackoff
+		}
 		cl := app.NewClient(eng, addr, ServerAddr,
 			faulted(netsim.NewLink(eng, cfg.Link, c.sw), addr, fault.FromNode),
 			payload, ccfg,
 			sim.NewRand(cfg.Seed, "client"+string(rune('0'+i))))
 		cl.Replay = c.replayTrace != nil
+		if overload {
+			cl.Budget = cfg.Overload.NewBudget()
+			cl.Breaker = cfg.Overload.NewBreaker()
+		}
 		faulted(c.sw.Attach(addr, cfg.Link, cl), addr, fault.ToNode)
 		c.Clients = append(c.Clients, cl)
 	}

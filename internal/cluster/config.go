@@ -9,6 +9,7 @@ import (
 	"ncap/internal/fault"
 	"ncap/internal/netsim"
 	"ncap/internal/nic"
+	"ncap/internal/resilience"
 	"ncap/internal/sim"
 	"ncap/internal/telemetry"
 	"ncap/internal/workload"
@@ -78,6 +79,13 @@ type Config struct {
 	// suppression). Part of the config, so it participates in the
 	// runner's content-keyed cache identity.
 	Fault fault.Spec
+	// Overload enables the resilience layer (see internal/resilience):
+	// the server's bounded admission queue with config-selected shedding,
+	// client end-to-end deadlines, jittered backoff, retry budgets and
+	// per-client circuit breakers. A nil pointer serializes to nothing,
+	// so legacy configs keep their cache identity; a non-nil spec
+	// participates in the runner's content-keyed cache identity.
+	Overload *resilience.Spec `json:"Overload,omitempty"`
 	// Telemetry, when non-nil, wires every component's metrics and event
 	// trace into the given sink (see internal/telemetry). It is a live
 	// handle, not data: it is excluded from the runner's content-keyed
@@ -151,6 +159,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cluster: multi-queue NCAP requires PerCoreDVFS")
 	}
 	if err := c.Fault.Validate(); err != nil {
+		return err
+	}
+	if err := c.Overload.Validate(); err != nil {
 		return err
 	}
 	if err := c.Traffic.Validate(c.Clients); err != nil {

@@ -79,6 +79,26 @@ type Result struct {
 	// serialization; recording runs are never cached.
 	Recorded *workload.Trace `json:"-"`
 
+	// Overload-resilience accounting (all zero unless Config.Overload is
+	// set). Shed counts requests dropped at dispatch by the admission
+	// policy (deadline-unmeetable or CoDel); Rejected arrivals refused at
+	// a full admission queue; DeadlineExceeded requests that missed their
+	// end-to-end deadline; BudgetDenied retries converted to terminal
+	// failures by an empty retry budget; BreakerDropped sends refused
+	// locally by an open circuit breaker. RetryAmp is the retry
+	// amplification factor (total transmissions per first send);
+	// QueuePeak the admission queue's high-water mark; RecoveryNs how
+	// long past the measurement window the server needed to drain back
+	// to idle (-1: still busy when the drain ended — collapse).
+	Shed             int64        `json:",omitempty"`
+	Rejected         int64        `json:",omitempty"`
+	DeadlineExceeded int64        `json:",omitempty"`
+	BudgetDenied     int64        `json:",omitempty"`
+	BreakerDropped   int64        `json:",omitempty"`
+	RetryAmp         float64      `json:",omitempty"`
+	QueuePeak        int64        `json:",omitempty"`
+	RecoveryNs       sim.Duration `json:",omitempty"`
+
 	// Events is the simulator event count (progress metric).
 	Events uint64
 }
@@ -142,6 +162,9 @@ func (c *Cluster) Run() Result {
 	}
 	c.eng.Run(measureEnd + cfg.Drain)
 	c.mergeClientStats(&res)
+	if cfg.Overload != nil {
+		c.collectOverload(&res, measureEnd)
+	}
 	// The captured schedule is complete only now (sends already queued at
 	// Stop time still went out during the drain, and a replay must send
 	// them too). The capture's hash doubles as the record run's
@@ -176,6 +199,32 @@ func (c *Cluster) mergeClientStats(res *Result) {
 		res.Abandoned += cl.Abandoned.Value()
 	}
 	res.Latency = merged.Summarize()
+}
+
+// collectOverload fills the resilience accounting after the drain. Only
+// called when Config.Overload is set: the fields stay exactly zero on
+// legacy configs, so their serialized Results are byte-identical.
+func (c *Cluster) collectOverload(res *Result, measureEnd sim.Time) {
+	res.Shed = c.Server.ShedDeadline.Value() + c.Server.ShedCoDel.Value()
+	res.Rejected = c.Server.Rejected.Value()
+	res.QueuePeak = int64(c.Server.QueuePeak())
+	for _, cl := range c.Clients {
+		res.DeadlineExceeded += cl.DeadlineExceeded.Value()
+		res.BudgetDenied += cl.BudgetDenied.Value()
+		res.BreakerDropped += cl.BreakerDropped.Value()
+	}
+	if res.Sent > 0 {
+		res.RetryAmp = 1 + float64(res.Retransmits)/float64(res.Sent)
+	}
+	// Time-to-recovery: how long past the measurement window the server
+	// needed to drain back to idle. A server still holding work when the
+	// drain ended never recovered — the metastable signature.
+	switch {
+	case c.Server.Busy():
+		res.RecoveryNs = -1
+	case c.Server.LastIdle() > measureEnd:
+		res.RecoveryNs = c.Server.LastIdle() - measureEnd
+	}
 }
 
 func (c *Cluster) collect(energyJ float64) Result {

@@ -32,7 +32,7 @@ func (c *Cluster) registerTelemetry() {
 	if c.Menu != nil {
 		c.Menu.RegisterTelemetry(reg, "server.gov.menu")
 	}
-	c.Server.RegisterTelemetry(reg, "server.app")
+	c.Server.RegisterTelemetry(reg, tr, "server.app")
 	for i, cl := range c.Clients {
 		cl.RegisterTelemetry(reg, fmt.Sprintf("client%d", i))
 	}

@@ -15,6 +15,7 @@ import (
 	"ncap/internal/app"
 	"ncap/internal/cluster"
 	"ncap/internal/power"
+	"ncap/internal/resilience"
 	"ncap/internal/runner"
 	"ncap/internal/sim"
 )
@@ -26,6 +27,12 @@ type Options struct {
 	Measure sim.Duration
 	Drain   sim.Duration
 	Seed    uint64
+
+	// Overload, when non-nil, applies the resilience spec to every
+	// configuration in the sweep (ncapsweep's -deadline/-admit/... flags).
+	// Experiments that sweep resilience themselves (E13) override it per
+	// cell.
+	Overload *resilience.Spec
 
 	// Runner, when non-nil, executes every simulation batch through the
 	// shared worker pool (parallelism, caching, isolation). A nil Runner
@@ -60,6 +67,9 @@ func (o Options) apply(cfg cluster.Config) cluster.Config {
 	cfg.Measure = o.Measure
 	cfg.Drain = o.Drain
 	cfg.Seed = o.Seed
+	if o.Overload != nil {
+		cfg.Overload = o.Overload
+	}
 	return cfg
 }
 

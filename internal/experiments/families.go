@@ -26,6 +26,7 @@ func Families() []Family {
 		{Name: "extensions", Desc: "Sec. 7 multi-queue and TOE extensions"},
 		{Name: "e11", Desc: "policies on a degraded fabric"},
 		{Name: "e12", Desc: "policies under generated traffic scenarios"},
+		{Name: "e13", Desc: "overload resilience through saturation (0.5×–2× capacity)"},
 		{Name: "all", Desc: "everything"},
 	}
 }

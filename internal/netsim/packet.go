@@ -82,6 +82,11 @@ type Packet struct {
 	// injection). The receiving NIC's FCS check detects it and drops the
 	// frame instead of delivering garbage upward.
 	Corrupt bool
+	// Deadline, on a request, is the client's end-to-end completion
+	// deadline (absolute simulated time; zero = none). The server's
+	// deadline-aware admission policy sheds requests it can no longer
+	// meet. Like Kind, the NIC hardware never reads it.
+	Deadline sim.Time
 
 	// aud is the packet-ownership tracker this packet is registered with,
 	// or nil outside audited runs. Tracked packets are released to the

@@ -99,6 +99,21 @@ type Faults struct {
 	DupResent     int64 `json:"dup_resent"`
 }
 
+// Overload bundles the resilience layer's accounting (see
+// internal/resilience); nil unless the run enabled overload protection
+// and something fired. RecoveryNs is -1 when the server never drained
+// back to idle — the metastable-collapse signature.
+type Overload struct {
+	Shed             int64   `json:"shed,omitempty"`
+	Rejected         int64   `json:"rejected,omitempty"`
+	DeadlineExceeded int64   `json:"deadline_exceeded,omitempty"`
+	BudgetDenied     int64   `json:"budget_denied,omitempty"`
+	BreakerDropped   int64   `json:"breaker_dropped,omitempty"`
+	RetryAmp         float64 `json:"retry_amp,omitempty"`
+	QueuePeak        int64   `json:"queue_peak,omitempty"`
+	RecoveryNs       int64   `json:"recovery_ns,omitempty"`
+}
+
 // Traffic is the coordinated-omission accounting of a replayed or
 // recorded arrival schedule: the schedule's canonical hash, the sends it
 // intended inside the measurement window, and how far actual
@@ -149,6 +164,10 @@ type Run struct {
 	// trace-driven runs (see internal/workload); absent for the built-in
 	// stationary traffic.
 	Traffic *Traffic `json:"traffic,omitempty"`
+
+	// Overload carries the resilience layer's accounting (see
+	// internal/resilience); absent when overload protection was off.
+	Overload *Overload `json:"overload,omitempty"`
 
 	Events uint64 `json:"sim_events,omitempty"`
 
@@ -202,6 +221,19 @@ func FromResult(tag string, r cluster.Result) Run {
 			Delays:        r.FaultDelays,
 			DupSuppressed: r.DupSuppressed,
 			DupResent:     r.DupResent,
+		}
+	}
+	if r.Shed|r.Rejected|r.DeadlineExceeded|r.BudgetDenied|r.BreakerDropped|r.QueuePeak != 0 ||
+		r.RetryAmp != 0 || r.RecoveryNs != 0 {
+		run.Overload = &Overload{
+			Shed:             r.Shed,
+			Rejected:         r.Rejected,
+			DeadlineExceeded: r.DeadlineExceeded,
+			BudgetDenied:     r.BudgetDenied,
+			BreakerDropped:   r.BreakerDropped,
+			RetryAmp:         r.RetryAmp,
+			QueuePeak:        r.QueuePeak,
+			RecoveryNs:       int64(r.RecoveryNs),
 		}
 	}
 	if r.TraceHash != "" || r.IntendedSends > 0 {

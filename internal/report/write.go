@@ -69,6 +69,8 @@ var csvHeader = []string{
 	"fault_drops", "fault_corrupt_drops", "fault_dups", "fault_delays", "dup_suppressed", "dup_resent",
 	"boosts", "stepdowns", "cit_wakes", "pstate_transitions", "governor_invocations",
 	"error", "violations",
+	"shed", "rejected", "deadline_exceeded", "budget_denied", "breaker_dropped",
+	"retry_amp", "queue_peak", "recovery_ns",
 }
 
 // WriteCSV emits the runs as a flat CSV table (header + one row per run).
@@ -81,6 +83,10 @@ func (r *Report) WriteCSV(w io.Writer) error {
 		var f Faults
 		if run.Faults != nil {
 			f = *run.Faults
+		}
+		var ov Overload
+		if run.Overload != nil {
+			ov = *run.Overload
 		}
 		row := []string{
 			run.Tag, run.Policy, run.Workload, formatFloat(run.LoadRPS),
@@ -103,6 +109,11 @@ func (r *Report) WriteCSV(w io.Writer) error {
 			strconv.FormatInt(run.GovernorInvocations, 10),
 			run.Error,
 			strconv.Itoa(len(run.Violations)),
+			strconv.FormatInt(ov.Shed, 10), strconv.FormatInt(ov.Rejected, 10),
+			strconv.FormatInt(ov.DeadlineExceeded, 10), strconv.FormatInt(ov.BudgetDenied, 10),
+			strconv.FormatInt(ov.BreakerDropped, 10),
+			formatFloat(ov.RetryAmp), strconv.FormatInt(ov.QueuePeak, 10),
+			strconv.FormatInt(ov.RecoveryNs, 10),
 		}
 		if err := cw.Write(row); err != nil {
 			return fmt.Errorf("report: csv: %w", err)

@@ -44,6 +44,13 @@ func (c *cache) load(key string) (cluster.Result, bool) {
 	if err != nil {
 		return cluster.Result{}, false
 	}
+	return parseCacheEntry(blob, key)
+}
+
+// parseCacheEntry decodes one cache file against the key it was looked up
+// under. Any defect — malformed JSON, truncation, schema or key mismatch —
+// degrades to a miss, never a panic or a wrong-keyed replay.
+func parseCacheEntry(blob []byte, key string) (cluster.Result, bool) {
 	var e cacheEntry
 	if err := json.Unmarshal(blob, &e); err != nil {
 		return cluster.Result{}, false

@@ -58,19 +58,29 @@ func openCheckpoint(path, resume string) (*checkpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("runner: resume: %w", err)
 	}
-	var f checkpointFile
-	if err := json.Unmarshal(blob, &f); err != nil {
+	entries, err := parseCheckpoint(blob)
+	if err != nil {
 		return nil, fmt.Errorf("runner: resume %s: %w", resume, err)
 	}
-	if f.Schema != checkpointSchema {
-		return nil, fmt.Errorf("runner: resume %s has schema %q, this runner writes %q",
-			resume, f.Schema, checkpointSchema)
-	}
-	for k, v := range f.Entries {
+	for k, v := range entries {
 		ck.resumed[k] = v
 		ck.entries[k] = v
 	}
 	return ck, nil
+}
+
+// parseCheckpoint decodes a checkpoint document. Malformed JSON, a wrong
+// schema tag, or truncated input all return an error — never a panic and
+// never a partial entry set a resumed sweep would silently trust.
+func parseCheckpoint(blob []byte) (map[string]cluster.Result, error) {
+	var f checkpointFile
+	if err := json.Unmarshal(blob, &f); err != nil {
+		return nil, err
+	}
+	if f.Schema != checkpointSchema {
+		return nil, fmt.Errorf("schema %q, this runner writes %q", f.Schema, checkpointSchema)
+	}
+	return f.Entries, nil
 }
 
 // lookup returns the resumed result for a job key, if the interrupted run

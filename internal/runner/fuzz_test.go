@@ -1,0 +1,99 @@
+package runner
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ncap/internal/cluster"
+)
+
+// FuzzParseCheckpoint: a resume file is attacker-grade input as far as the
+// parser is concerned — interrupted writes, truncation, hand edits. The
+// parser must never panic; it either returns an error or an entry map that
+// round-trips through the canonical serialization.
+func FuzzParseCheckpoint(f *testing.F) {
+	good, err := json.Marshal(checkpointFile{
+		Schema: checkpointSchema,
+		Entries: map[string]cluster.Result{
+			"k1": {Sent: 10, Completed: 9, EnergyJ: 1.5},
+		},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte(""))
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"schema":"ncap-checkpoint-v1"}`))
+	f.Add([]byte(`{"schema":"ncap-checkpoint-v1","entries":null}`))
+	f.Add([]byte(`{"schema":"ncap-checkpoint-v9","entries":{}}`))
+	f.Add([]byte(`{"schema":"ncap-checkpoint-v1","entries":{"k":[]}}`))
+	f.Add([]byte(`{"schema":"ncap-checkpoint-v1","entries":{"k":{"Sent":"x"}}}`))
+	f.Add(good[:len(good)/2]) // torn write
+	f.Add(append(append([]byte{}, good...), good...))
+	f.Add([]byte("\x00\x01\x02junk"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := parseCheckpoint(data)
+		if err != nil {
+			return
+		}
+		// Anything accepted must survive the rewrite the very next add()
+		// performs, and re-parse to the same entry set.
+		blob, merr := json.Marshal(checkpointFile{Schema: checkpointSchema, Entries: entries})
+		if merr != nil {
+			t.Fatalf("accepted checkpoint does not serialize: %v", merr)
+		}
+		back, perr := parseCheckpoint(blob)
+		if perr != nil {
+			t.Fatalf("canonical serialization does not re-parse: %v", perr)
+		}
+		if len(back) != len(entries) {
+			t.Fatalf("round trip changed entry count: %d -> %d", len(entries), len(back))
+		}
+	})
+}
+
+// FuzzParseCacheEntry: a shared cache directory can hold entries from
+// crashed writers, other schema versions, or plain corruption. Every
+// defect must degrade to a miss (ok=false) — never a panic, and never a
+// hit for a key the file does not carry.
+func FuzzParseCacheEntry(f *testing.F) {
+	const key = "deadbeef"
+	good, err := json.Marshal(cacheEntry{
+		Schema: schemaVersion,
+		Key:    key,
+		Tag:    "t",
+		Result: cluster.Result{Sent: 5, Completed: 5},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good, key)
+	f.Add(good, "otherkey") // key mismatch must miss
+	f.Add([]byte(""), key)
+	f.Add([]byte("{}"), key)
+	f.Add([]byte(`{"schema":"ncap-runner-v1","key":"deadbeef"}`), key)
+	f.Add([]byte(`{"schema":"ncap-runner-v2","key":"deadbeef","result":[]}`), key)
+	f.Add(good[:len(good)/2], key) // torn write
+	f.Add([]byte(strings.ReplaceAll(string(good), key, "intruder")), key)
+	f.Add([]byte("\x00\x01junk"), key)
+
+	f.Fuzz(func(t *testing.T, data []byte, key string) {
+		res, ok := parseCacheEntry(data, key)
+		if !ok {
+			return
+		}
+		// A hit means the file really carried this schema and key; check
+		// by re-decoding the raw document independently.
+		var e cacheEntry
+		if err := json.Unmarshal(data, &e); err != nil {
+			t.Fatalf("hit from undecodable blob: %v", err)
+		}
+		if e.Schema != schemaVersion || e.Key != key {
+			t.Fatalf("hit with schema %q key %q (want %q %q)", e.Schema, e.Key, schemaVersion, key)
+		}
+		_ = res
+	})
+}
