@@ -48,11 +48,13 @@ func main() {
 		faults     cliflags.Faults
 		resil      cliflags.Resilience
 		traffic    cliflags.Traffic
+		topo       cliflags.Topology
 		out        cliflags.Output
 	)
 	faults.Register()
 	resil.Register()
 	traffic.Register()
+	topo.Register()
 	out.Register(true)
 	flag.Parse()
 	if *resume != "" && *checkpoint == "" {
@@ -79,6 +81,7 @@ func main() {
 	faults.Validate(tool)
 	resil.Validate(tool)
 	traffic.Validate(tool)
+	topo.Validate(tool)
 	rps := *load
 	if rps == 0 {
 		rps = ncap.LoadRPS(prof.Name, cliflags.Level(tool, *level))
@@ -91,6 +94,7 @@ func main() {
 	faults.Apply(&cfg)
 	resil.Apply(&cfg)
 	traffic.Apply(tool, &cfg)
+	topo.Apply(tool, &cfg)
 	if err := cfg.Validate(); err != nil {
 		cliflags.Fatalf(tool, "%v", err)
 	}

@@ -103,6 +103,11 @@ var handlers = map[string]func(o experiments.Options, profiles []app.Profile){
 			experiments.RenderOverload(os.Stdout, o, prof)
 		}
 	},
+	"e14": func(o experiments.Options, profiles []app.Profile) {
+		for _, prof := range profiles {
+			experiments.RenderTopology(os.Stdout, o, prof)
+		}
+	},
 	"all": nil, // resolved in main: runs every other family in registry order
 }
 
@@ -130,14 +135,17 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		rn       cliflags.Runner
 		res      cliflags.Resilience
+		topo     cliflags.Topology
 		out      cliflags.Output
 	)
 	rn.Register(runtime.GOMAXPROCS(0))
 	res.Register()
+	topo.Register()
 	out.Register(false)
 	flag.Parse()
 	rn.Validate(tool)
 	res.Validate(tool)
+	topo.Validate(tool)
 	stopProf := out.StartPprof(tool)
 	defer stopProf()
 
@@ -147,6 +155,7 @@ func main() {
 	}
 	o.Seed = *seed
 	o.Overload = res.Spec()
+	o.Topology = topo.Spec(tool)
 
 	// -audit forces outcome recording even without -json: the violation
 	// summary below needs every outcome, not just the batch counters.

@@ -47,9 +47,11 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "atomically rewrite this JSON file with completed results after every job, for -resume")
 		resume     = flag.String("resume", "", "replay completed jobs from this checkpoint file instead of re-running them (requires -checkpoint)")
 		res        cliflags.Resilience
+		topo       cliflags.Topology
 		output     cliflags.Output
 	)
 	res.Register()
+	topo.Register()
 	output.Register(false)
 	flag.Parse()
 	stopProf := output.StartPprof(tool)
@@ -58,6 +60,7 @@ func main() {
 		cliflags.Fatalf(tool, "-loss %v: must be a probability in [0,1]", *lossP)
 	}
 	res.Validate(tool)
+	topo.Validate(tool)
 	if *resume != "" && *checkpoint == "" {
 		cliflags.Fatalf(tool, "-resume requires -checkpoint (point both at the same file to continue it)")
 	}
@@ -95,6 +98,10 @@ func main() {
 	var mutate []func(*cluster.Config)
 	if res.Any() {
 		mutate = append(mutate, func(c *cluster.Config) { res.Apply(c) })
+	}
+	if topo.Any() {
+		// The sampler traces node 0, the fleet's first server.
+		mutate = append(mutate, func(c *cluster.Config) { topo.Apply(tool, c) })
 	}
 	if *scenario != "" {
 		sc, err := wl.ParseScenario(*scenario)

@@ -56,8 +56,9 @@ func DefaultClientConfig() ClientConfig {
 
 // pendingReq tracks one outstanding request.
 type pendingReq struct {
-	sent     sim.Time // scheduled first transmission (latency is measured from here)
-	deadline sim.Time // absolute completion deadline (zero = none)
+	sent     sim.Time    // scheduled first transmission (latency is measured from here)
+	dst      netsim.Addr // destination server (retransmissions reuse it)
+	deadline sim.Time    // absolute completion deadline (zero = none)
 	got      uint64   // bitmask of distinct response segments received
 	need     int      // segments expected (learned from the first segment)
 	retries  int
@@ -93,6 +94,12 @@ type Client struct {
 	// emitting bursts and the cluster fires pre-scheduled ReplayItems
 	// instead (see internal/workload). Set before Start.
 	Replay bool
+	// Targets, when non-empty, fans the request stream across several
+	// servers: successive requests rotate through the list in order, and
+	// a retransmission sticks with its request's original destination
+	// (the pending state lives there). Empty keeps every request on the
+	// constructor's server — the paper's star. Set before Start.
+	Targets []netsim.Addr
 	// CoAccount turns on intended-send accounting in burst mode (trace
 	// recording), so a recorded run's Lag counters match its replay's.
 	CoAccount bool
@@ -247,7 +254,7 @@ func (c *Client) sendNew() {
 	seq := c.nextSeq
 	c.nextSeq++
 	id := uint64(c.addr)<<40 | seq
-	pr := &pendingReq{sent: c.eng.Now()}
+	pr := &pendingReq{sent: c.eng.Now(), dst: c.dest(seq)}
 	if c.cfg.Deadline > 0 {
 		pr.deadline = c.eng.Now() + c.cfg.Deadline
 	}
@@ -255,6 +262,16 @@ func (c *Client) sendNew() {
 	c.Sent.Inc()
 	c.Budget.Earn()
 	c.transmit(id, pr)
+}
+
+// dest returns the seq-th request's destination: the fixed server, or
+// the next stop in the Targets rotation. Pure function of seq, so a
+// recorded run and its replay send every request to the same server.
+func (c *Client) dest(seq uint64) netsim.Addr {
+	if len(c.Targets) == 0 {
+		return c.server
+	}
+	return c.Targets[seq%uint64(len(c.Targets))]
 }
 
 // ReplayItem is one pre-scheduled trace send, owned by the cluster and
@@ -295,7 +312,7 @@ func (c *Client) replaySend(it *ReplayItem) {
 	seq := c.nextSeq
 	c.nextSeq++
 	id := uint64(c.addr)<<40 | seq
-	pr := &pendingReq{sent: it.Sched, respHint: it.RespHint}
+	pr := &pendingReq{sent: it.Sched, dst: c.dest(seq), respHint: it.RespHint}
 	if c.cfg.Deadline > 0 {
 		pr.deadline = c.eng.Now() + c.cfg.Deadline
 	}
@@ -336,7 +353,7 @@ func (c *Client) transmit(id uint64, pr *pendingReq) {
 	if payload == nil {
 		payload = c.payload
 	}
-	pkt := netsim.NewRequest(c.addr, c.server, id, payload)
+	pkt := netsim.NewRequest(c.addr, pr.dst, id, payload)
 	pkt.RespHint = pr.respHint
 	pkt.Deadline = pr.deadline
 	c.uplink.Send(pkt)

@@ -25,6 +25,7 @@ import (
 	"ncap/internal/resilience"
 	"ncap/internal/runner"
 	"ncap/internal/sim"
+	"ncap/internal/topology"
 	"ncap/internal/workload"
 
 	// Registered on the default mux for the optional -pprof endpoint.
@@ -373,6 +374,74 @@ func (t *Traffic) WriteRecorded(rec *workload.Trace) error {
 		return fmt.Errorf("-record-trace: run produced no capture")
 	}
 	return workload.WriteTraceFile(t.RecordTrace, rec)
+}
+
+// Topology bundles the cluster-shape flags (see internal/topology): an
+// explicit spec file, or the -racks shorthand compiled into the standard
+// rack (one ToR) or rack/spine fleet shape. Spelled identically across
+// all three tools. Nothing set keeps the paper's 4-node star.
+type Topology struct {
+	File        string
+	Racks       int
+	Spines      int
+	RackServers int
+	RackClients int
+}
+
+// Register installs the topology flags.
+func (t *Topology) Register() {
+	flag.StringVar(&t.File, "topology", "", "topology spec JSON file (see internal/topology); empty with -racks 0 keeps the paper's 4-node star")
+	flag.IntVar(&t.Racks, "racks", 0, "build a rack/spine fleet with this many racks (0 keeps the star unless -topology is given)")
+	flag.IntVar(&t.Spines, "spines", 2, "spine switches for a multi-rack -racks fleet")
+	flag.IntVar(&t.RackServers, "rack-servers", 16, "servers per rack for a -racks fleet")
+	flag.IntVar(&t.RackClients, "rack-clients", 8, "clients per rack for a -racks fleet")
+}
+
+// Validate rejects contradictory or out-of-range shape flags with exit
+// code 2. Spec-file contents are validated at load time in Spec.
+func (t *Topology) Validate(tool string) {
+	switch {
+	case t.File != "" && t.Racks != 0:
+		Fatalf(tool, "-topology and -racks are mutually exclusive (the spec file already fixes the shape)")
+	case t.Racks < 0:
+		Fatalf(tool, "-racks %d: must be non-negative", t.Racks)
+	case t.Racks > 1 && t.Spines <= 0:
+		Fatalf(tool, "-spines %d: a %d-rack fleet needs at least one spine", t.Spines, t.Racks)
+	case t.Racks > 0 && t.RackServers <= 0:
+		Fatalf(tool, "-rack-servers %d: must be positive", t.RackServers)
+	case t.Racks > 0 && t.RackClients <= 0:
+		Fatalf(tool, "-rack-clients %d: must be positive", t.RackClients)
+	}
+}
+
+// Any reports whether a non-star topology is requested.
+func (t *Topology) Any() bool { return t.File != "" || t.Racks > 0 }
+
+// Spec resolves the flags into a topology spec — loading and validating
+// the -topology file (exit 2 on a bad one) or building the -racks shape —
+// and returns nil when nothing is set (the legacy star code path,
+// byte-identical with historical runs).
+func (t *Topology) Spec(tool string) *topology.Spec {
+	switch {
+	case t.File != "":
+		spec, err := topology.ReadFile(t.File)
+		if err != nil {
+			Fatalf(tool, "-topology: %v", err)
+		}
+		return spec
+	case t.Racks == 1:
+		return topology.Rack(t.RackServers, t.RackClients)
+	case t.Racks > 1:
+		return topology.Fleet(t.Racks, t.Spines, t.RackServers, t.RackClients)
+	}
+	return nil
+}
+
+// Apply attaches the requested topology spec to the config.
+func (t *Topology) Apply(tool string, cfg *cluster.Config) {
+	if spec := t.Spec(tool); spec != nil {
+		cfg.Topology = spec
+	}
 }
 
 // Output bundles the machine-readable output flags.

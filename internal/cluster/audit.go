@@ -40,12 +40,36 @@ type auditState struct {
 // enableAudit assembles the auditor and wires every component. Called at
 // the end of New, once the topology exists.
 func (c *Cluster) enableAudit() {
-	ad := &auditState{a: audit.New(), maxW: c.Chip.MaxPowerWatts()}
+	var maxW float64
+	for _, n := range c.nodes {
+		maxW += n.Chip.MaxPowerWatts()
+	}
+	ad := &auditState{a: audit.New(), maxW: maxW}
 	ad.pkt = netsim.NewPacketAudit(c.eng, ad.a)
 	for i, l := range c.faultLinks {
 		l.EnableAudit(ad.pkt, c.faultLinkNames[i])
 	}
-	c.NIC.EnableAudit(ad.a)
+	for i, l := range c.trunks {
+		l.EnableAudit(ad.pkt, c.trunkNames[i])
+	}
+	for _, n := range c.nodes {
+		n.NIC.EnableAudit(ad.a)
+	}
+	// An unroutable frame in a compiled topology is a compilation bug:
+	// surface each occurrence as a structured violation (the report layer
+	// independently turns the counters into a warning row).
+	for _, sw := range c.Switches() {
+		name := sw.Name()
+		if name == "" {
+			name = "switch"
+		}
+		comp := "switch." + name
+		sw.SetUnroutableHook(func(p *netsim.Packet) {
+			ad.a.Report(comp, "unroutable", int64(c.eng.Now()),
+				"a port or route for every forwarded frame",
+				fmt.Sprintf("no route for src=%v dst=%v", p.Src, p.Dst))
+		})
+	}
 	c.eng.SetLivelockWatchdog(sim.DefaultLivelockLimit, func(count int, at sim.Time) {
 		ad.a.Report("sim.engine", "livelock", int64(at),
 			fmt.Sprintf("< %d consecutive events at one instant", sim.DefaultLivelockLimit),
@@ -64,9 +88,11 @@ func (c *Cluster) auditTick() {
 	ad.ticks++
 	now := c.eng.Now()
 	ad.cursor = c.eng.AuditIntegrity(ad.a, ad.cursor)
-	c.Chip.AuditAccounting(ad.a, ad.resetAt)
+	for _, n := range c.nodes {
+		n.Chip.AuditAccounting(ad.a, ad.resetAt)
+	}
 
-	e := c.Chip.EnergyJoules()
+	e := c.totalEnergyJ()
 	dt := now - ad.lastT
 	dj := e - ad.lastE
 	maxJ := ad.maxW*dt.Seconds() + 1e-9
@@ -84,7 +110,7 @@ func (c *Cluster) auditBoundary() {
 	ad := c.aud
 	ad.resetAt = c.eng.Now()
 	ad.lastT = ad.resetAt
-	ad.lastE = c.Chip.EnergyJoules()
+	ad.lastE = c.totalEnergyJ()
 }
 
 // finalizeAudit drives the simulation to quiescence and runs the checks
@@ -94,11 +120,13 @@ func (c *Cluster) auditBoundary() {
 func (c *Cluster) finalizeAudit() {
 	ad := c.aud
 	ad.ticker.Stop()
-	if c.Ond != nil {
-		c.Ond.Stop()
+	for _, n := range c.nodes {
+		if n.Ond != nil {
+			n.Ond.Stop()
+		}
+		n.NIC.Quiesce()
+		n.Driver.Quiesce()
 	}
-	c.NIC.Quiesce()
-	c.Driver.Quiesce()
 	// Clients, bulk sender and sampler are already stopped; the grace
 	// window lets their in-flight requests (bounded RTO chains) complete.
 	c.eng.Run(c.eng.Now() + auditGrace)
@@ -108,11 +136,18 @@ func (c *Cluster) finalizeAudit() {
 			"0 pending events after drain", fmt.Sprintf("%d still scheduled", p))
 	}
 	ad.cursor = c.eng.AuditIntegrity(ad.a, ad.cursor)
-	c.Chip.AuditAccounting(ad.a, ad.resetAt)
+	for _, n := range c.nodes {
+		n.Chip.AuditAccounting(ad.a, ad.resetAt)
+	}
 	for _, l := range c.faultLinks {
 		l.AuditConservation(ad.a)
 	}
-	c.NIC.AuditConservation()
+	for _, l := range c.trunks {
+		l.AuditConservation(ad.a)
+	}
+	for _, n := range c.nodes {
+		n.NIC.AuditConservation()
+	}
 	ad.pkt.CheckLeaks()
 
 	if audit.Strict && !c.cfg.Audit {

@@ -12,6 +12,7 @@ import (
 	"ncap/internal/resilience"
 	"ncap/internal/sim"
 	"ncap/internal/telemetry"
+	"ncap/internal/topology"
 	"ncap/internal/workload"
 )
 
@@ -79,6 +80,17 @@ type Config struct {
 	// suppression). Part of the config, so it participates in the
 	// runner's content-keyed cache identity.
 	Fault fault.Spec
+	// Topology selects the cluster shape (see internal/topology): a
+	// declarative graph of node groups, rack (ToR) switches and an
+	// optional ECMP spine tier, compiled by New into wired simulation
+	// components. A nil pointer serializes to nothing and keeps the
+	// legacy construction path, so historical configs keep byte-identical
+	// cache keys and results; a non-nil spec participates in the runner's
+	// content-keyed cache identity. With a topology set, the scalar
+	// Clients and Cores fields are ignored — the spec carries both — and
+	// LoadRPS remains the aggregate offered load across every client in
+	// the fleet.
+	Topology *topology.Spec `json:"Topology,omitempty"`
 	// Overload enables the resilience layer (see internal/resilience):
 	// the server's bounded admission queue with config-selected shedding,
 	// client end-to-end deadlines, jittered backoff, retry budgets and
@@ -133,6 +145,15 @@ func DefaultConfig(policy Policy, workload app.Profile, loadRPS float64) Config 
 	}
 }
 
+// ClientCount returns the number of client nodes the config compiles to:
+// the topology's when one is set, the scalar Clients field otherwise.
+func (c Config) ClientCount() int {
+	if c.Topology != nil {
+		return c.Topology.Clients()
+	}
+	return c.Clients
+}
+
 // Validate reports configuration errors.
 func (c Config) Validate() error {
 	if _, err := ParsePolicy(string(c.Policy)); err != nil {
@@ -140,6 +161,15 @@ func (c Config) Validate() error {
 	}
 	if err := c.Workload.Validate(); err != nil {
 		return err
+	}
+	if err := c.Topology.Validate(); err != nil {
+		return err
+	}
+	if c.Topology != nil && c.BulkBps > 0 {
+		// The background bulk sender is a fixture of the paper's star
+		// (one well-known extra address); a fleet models background load
+		// through its workload scenarios instead.
+		return fmt.Errorf("cluster: BulkBps is a legacy-star option (unset it or drop the topology)")
 	}
 	switch {
 	case c.LoadRPS <= 0:
@@ -164,7 +194,7 @@ func (c Config) Validate() error {
 	if err := c.Overload.Validate(); err != nil {
 		return err
 	}
-	if err := c.Traffic.Validate(c.Clients); err != nil {
+	if err := c.Traffic.Validate(c.ClientCount()); err != nil {
 		return err
 	}
 	if c.Traffic.Replay() && c.Traffic.Trace == nil {

@@ -8,6 +8,7 @@ import (
 	"ncap/internal/power"
 	"ncap/internal/sim"
 	"ncap/internal/stats"
+	"ncap/internal/topology"
 	"ncap/internal/trace"
 	"ncap/internal/workload"
 )
@@ -99,18 +100,59 @@ type Result struct {
 	QueuePeak        int64        `json:",omitempty"`
 	RecoveryNs       sim.Duration `json:",omitempty"`
 
+	// Topology rollups (compiled topologies only — all empty on the
+	// legacy star, so its serialized Results are byte-identical). Groups
+	// mirrors the spec's group list; Switches covers the ToR tier then the
+	// spine tier; Unroutable is the fleet-wide count of frames no switch
+	// could route (nonzero = compilation bug, surfaced as a report warning
+	// and, under -audit, a violation).
+	Groups     []GroupResult `json:",omitempty"`
+	Switches   []SwitchStats `json:",omitempty"`
+	Unroutable int64         `json:",omitempty"`
+
 	// Events is the simulator event count (progress metric).
 	Events uint64
+}
+
+// GroupResult is one topology group's rollup. Server groups carry the
+// energy fields; client groups the request accounting, the latency
+// distribution, and the worst-case hop count of their request paths.
+type GroupResult struct {
+	Name  string
+	Role  string
+	Nodes int
+	// Hops is the worst-case switch count on a client group's request
+	// path: 1 when every target server shares the rack, 3 via the spines.
+	Hops int `json:",omitempty"`
+	// Package energy and mean power summed over the group's servers.
+	EnergyJ   float64 `json:",omitempty"`
+	AvgPowerW float64 `json:",omitempty"`
+	// Request accounting and RTT distribution merged over the group's
+	// clients (drain-inclusive, like the fleet-level Latency).
+	Sent      int64 `json:",omitempty"`
+	Completed int64 `json:",omitempty"`
+	Latency   stats.Summary
+}
+
+// SwitchStats is one switch's rollup: frames forwarded, frames it could
+// not route, and the egress high-water mark across its ports and trunks.
+type SwitchStats struct {
+	Name           string
+	Forwarded      int64
+	Unroutable     int64 `json:",omitempty"`
+	PeakQueueBytes int
 }
 
 // Run executes the experiment: warmup, measured window, drain; it returns
 // the collected result.
 func (c *Cluster) Run() Result {
 	cfg := c.cfg
-	if c.Ond != nil {
-		c.Ond.Start()
-	} else if cfg.Policy == Perf || cfg.Policy == PerfIdle {
-		governor.Performance(c.Chip)
+	for _, n := range c.nodes {
+		if n.Ond != nil {
+			n.Ond.Start()
+		} else if cfg.Policy == Perf || cfg.Policy == PerfIdle {
+			governor.Performance(n.Chip)
+		}
 	}
 	for _, cl := range c.Clients {
 		cl.Start()
@@ -123,10 +165,12 @@ func (c *Cluster) Run() Result {
 	c.eng.Run(cfg.Warmup)
 
 	// Measurement boundary: zero all accounting.
-	c.Chip.ResetStats()
-	c.NIC.ResetStats()
-	c.Driver.ResetStats()
-	c.Server.ResetStats()
+	for _, n := range c.nodes {
+		n.Chip.ResetStats()
+		n.NIC.ResetStats()
+		n.Driver.ResetStats()
+		n.Server.ResetStats()
+	}
 	for _, l := range c.faultLinks {
 		l.FaultDrops.Reset()
 		l.FaultCorrupts.Reset()
@@ -147,7 +191,16 @@ func (c *Cluster) Run() Result {
 	// action counters) is snapshotted at its end.
 	measureEnd := cfg.Warmup + cfg.Measure
 	c.eng.Run(measureEnd)
-	res := c.collect(c.Chip.EnergyJoules())
+	var nodeEnergy []float64
+	if cfg.Topology != nil {
+		// Per-node snapshots for the group rollups, taken at the same
+		// instant as the fleet total.
+		nodeEnergy = make([]float64, len(c.nodes))
+		for i, n := range c.nodes {
+			nodeEnergy[i] = n.Chip.EnergyJoules()
+		}
+	}
+	res := c.collect(c.totalEnergyJ())
 
 	// Drain: stop offering load and let in-flight requests complete, then
 	// fold their latencies in (they were sent inside the window).
@@ -164,6 +217,9 @@ func (c *Cluster) Run() Result {
 	c.mergeClientStats(&res)
 	if cfg.Overload != nil {
 		c.collectOverload(&res, measureEnd)
+	}
+	if cfg.Topology != nil {
+		c.collectFleet(&res, nodeEnergy)
 	}
 	// The captured schedule is complete only now (sends already queued at
 	// Stop time still went out during the drain, and a replay must send
@@ -205,9 +261,21 @@ func (c *Cluster) mergeClientStats(res *Result) {
 // called when Config.Overload is set: the fields stay exactly zero on
 // legacy configs, so their serialized Results are byte-identical.
 func (c *Cluster) collectOverload(res *Result, measureEnd sim.Time) {
-	res.Shed = c.Server.ShedDeadline.Value() + c.Server.ShedCoDel.Value()
-	res.Rejected = c.Server.Rejected.Value()
-	res.QueuePeak = int64(c.Server.QueuePeak())
+	var lastIdle sim.Time
+	busy := false
+	for _, n := range c.nodes {
+		res.Shed += n.Server.ShedDeadline.Value() + n.Server.ShedCoDel.Value()
+		res.Rejected += n.Server.Rejected.Value()
+		// The fleet's QueuePeak is its worst server's — the saturation
+		// signal, not a sum over mostly idle queues.
+		if qp := int64(n.Server.QueuePeak()); qp > res.QueuePeak {
+			res.QueuePeak = qp
+		}
+		busy = busy || n.Server.Busy()
+		if n.Server.LastIdle() > lastIdle {
+			lastIdle = n.Server.LastIdle()
+		}
+	}
 	for _, cl := range c.Clients {
 		res.DeadlineExceeded += cl.DeadlineExceeded.Value()
 		res.BudgetDenied += cl.BudgetDenied.Value()
@@ -216,15 +284,74 @@ func (c *Cluster) collectOverload(res *Result, measureEnd sim.Time) {
 	if res.Sent > 0 {
 		res.RetryAmp = 1 + float64(res.Retransmits)/float64(res.Sent)
 	}
-	// Time-to-recovery: how long past the measurement window the server
-	// needed to drain back to idle. A server still holding work when the
-	// drain ended never recovered — the metastable signature.
+	// Time-to-recovery: how long past the measurement window the slowest
+	// server needed to drain back to idle. A server still holding work
+	// when the drain ended never recovered — the metastable signature.
 	switch {
-	case c.Server.Busy():
+	case busy:
 		res.RecoveryNs = -1
-	case c.Server.LastIdle() > measureEnd:
-		res.RecoveryNs = c.Server.LastIdle() - measureEnd
+	case lastIdle > measureEnd:
+		res.RecoveryNs = lastIdle - measureEnd
 	}
+}
+
+// collectFleet fills the topology rollups after the drain. Only called on
+// compiled topologies: the fields stay empty on the legacy star, so its
+// serialized Results are byte-identical. nodeEnergy holds the per-node
+// package energy snapshots taken at the measurement window's end.
+func (c *Cluster) collectFleet(res *Result, nodeEnergy []float64) {
+	cfg := c.cfg
+	for gi := range c.groups {
+		cg := &c.groups[gi]
+		gr := GroupResult{Name: cg.name, Role: cg.role, Hops: cg.hops}
+		if cg.role == string(topology.RoleServer) {
+			gr.Nodes = len(cg.servers)
+			for _, ni := range cg.servers {
+				gr.EnergyJ += nodeEnergy[ni]
+			}
+			gr.AvgPowerW = gr.EnergyJ / cfg.Measure.Seconds()
+		} else {
+			gr.Nodes = len(cg.clients)
+			merged := stats.NewRecorder()
+			for _, ci := range cg.clients {
+				cl := c.Clients[ci]
+				merged.Merge(cl.Latency())
+				gr.Sent += cl.Sent.Value()
+				gr.Completed += cl.Completed.Value()
+			}
+			gr.Latency = merged.Summarize()
+		}
+		res.Groups = append(res.Groups, gr)
+	}
+	for swi, sw := range c.Switches() {
+		st := SwitchStats{
+			Name:       sw.Name(),
+			Forwarded:  sw.Forwarded.Value(),
+			Unroutable: sw.Unroutable.Value(),
+		}
+		for _, l := range sw.Ports() {
+			if l.PeakQueuedBytes() > st.PeakQueueBytes {
+				st.PeakQueueBytes = l.PeakQueuedBytes()
+			}
+		}
+		for ti, l := range c.trunks {
+			if c.trunkOwner[ti] == swi && l.PeakQueuedBytes() > st.PeakQueueBytes {
+				st.PeakQueueBytes = l.PeakQueuedBytes()
+			}
+		}
+		res.Unroutable += st.Unroutable
+		res.Switches = append(res.Switches, st)
+	}
+}
+
+// totalEnergyJ sums package energy across every server node (a single
+// node on the legacy star).
+func (c *Cluster) totalEnergyJ() float64 {
+	var e float64
+	for _, n := range c.nodes {
+		e += n.Chip.EnergyJoules()
+	}
+	return e
 }
 
 func (c *Cluster) collect(energyJ float64) Result {
@@ -266,23 +393,35 @@ func (c *Cluster) collect(energyJ float64) Result {
 		ServedRPS: float64(completed) / cfg.Measure.Seconds(),
 		Sent:      sent, Completed: completed,
 		Retransmits: retrans, Abandoned: abandoned,
-		RxDrops:           c.NIC.RxDrops.Value(),
-		IRQs:              c.NIC.IRQs.Value(),
-		CorruptDrops:      c.NIC.RxCorruptDrops.Value(),
-		DupSuppressed:     c.Server.DupSuppressed.Value(),
-		DupResent:         c.Server.DupResent.Value(),
-		CResidency:        map[power.CState]sim.Duration{},
-		CEntries:          map[power.CState]int{},
-		Boosts:            c.Driver.Boosts.Value(),
-		StepDowns:         c.Driver.StepDowns.Value(),
-		PStateTransitions: c.Chip.Transitions(),
-		Sampler:           c.Sampler,
-		Events:            events,
+		CResidency: map[power.CState]sim.Duration{},
+		CEntries:   map[power.CState]int{},
+		Sampler:    c.Sampler,
+		Events:     events,
 	}
-	for _, core := range c.Chip.Cores() {
-		for _, s := range []power.CState{power.C1, power.C3, power.C6} {
-			res.CResidency[s] += core.CTime(s)
-			res.CEntries[s] += core.CEntries(s)
+	for _, n := range c.nodes {
+		res.RxDrops += n.NIC.RxDrops.Value()
+		res.IRQs += n.NIC.IRQs.Value()
+		res.CorruptDrops += n.NIC.RxCorruptDrops.Value()
+		res.DupSuppressed += n.Server.DupSuppressed.Value()
+		res.DupResent += n.Server.DupResent.Value()
+		res.Boosts += n.Driver.Boosts.Value()
+		res.StepDowns += n.Driver.StepDowns.Value()
+		res.PStateTransitions += n.Chip.Transitions()
+		for _, core := range n.Chip.Cores() {
+			for _, s := range []power.CState{power.C1, power.C3, power.C6} {
+				res.CResidency[s] += core.CTime(s)
+				res.CEntries[s] += core.CEntries(s)
+			}
+		}
+		if n.NIC.NCAPEnabled() {
+			for _, q := range n.NIC.Queues() {
+				res.CITWakes += q.Decision().Wakes.Value()
+			}
+		} else if n.Driver.SoftwareNCAP() {
+			res.CITWakes += n.Driver.SWDecision().Wakes.Value()
+		}
+		if n.Ond != nil {
+			res.GovernorInvocations += n.Ond.Invocations.Value()
 		}
 	}
 	for _, cl := range c.Clients {
@@ -292,16 +431,6 @@ func (c *Cluster) collect(energyJ float64) Result {
 		res.FaultDrops += l.FaultDrops.Value()
 		res.FaultDups += l.FaultDups.Value()
 		res.FaultDelays += l.FaultDelays.Value()
-	}
-	if c.NIC.NCAPEnabled() {
-		for _, q := range c.NIC.Queues() {
-			res.CITWakes += q.Decision().Wakes.Value()
-		}
-	} else if c.Driver.SoftwareNCAP() {
-		res.CITWakes = c.Driver.SWDecision().Wakes.Value()
-	}
-	if c.Ond != nil {
-		res.GovernorInvocations = c.Ond.Invocations.Value()
 	}
 	if c.accounting {
 		var lag stats.LagMeter

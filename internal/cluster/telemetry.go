@@ -22,22 +22,31 @@ func (c *Cluster) registerTelemetry() {
 		return
 	}
 	reg, tr := tel.Registry(), tel.Trace()
-	c.Chip.RegisterTelemetry(reg, tr, "server.cpu")
-	c.Kernel.RegisterTelemetry(reg, "server.kernel")
-	c.NIC.RegisterTelemetry(reg, tr, "server.nic")
-	c.Driver.RegisterTelemetry(reg, tr, "server.driver")
-	if c.Ond != nil {
-		c.Ond.RegisterTelemetry(reg, "server.gov.ondemand")
+	// Per-node prefixes come from the node label: "server" on the legacy
+	// star (node 0 keeps the historical names), "serverN" beyond it.
+	for _, n := range c.nodes {
+		p := n.label
+		n.Chip.RegisterTelemetry(reg, tr, p+".cpu")
+		n.Kernel.RegisterTelemetry(reg, p+".kernel")
+		n.NIC.RegisterTelemetry(reg, tr, p+".nic")
+		n.Driver.RegisterTelemetry(reg, tr, p+".driver")
+		if n.Ond != nil {
+			n.Ond.RegisterTelemetry(reg, p+".gov.ondemand")
+		}
+		if n.Menu != nil {
+			n.Menu.RegisterTelemetry(reg, p+".gov.menu")
+		}
+		n.Server.RegisterTelemetry(reg, tr, p+".app")
 	}
-	if c.Menu != nil {
-		c.Menu.RegisterTelemetry(reg, "server.gov.menu")
-	}
-	c.Server.RegisterTelemetry(reg, tr, "server.app")
 	for i, cl := range c.Clients {
 		cl.RegisterTelemetry(reg, fmt.Sprintf("client%d", i))
 	}
 	for i, l := range c.faultLinks {
 		name := strings.ReplaceAll(c.faultLinkNames[i], "/", ".")
 		l.RegisterTelemetry(reg, tr, "link."+name)
+	}
+	for i, l := range c.trunks {
+		name := strings.ReplaceAll(c.trunkNames[i], "/", ".")
+		l.RegisterTelemetry(reg, tr, "trunk."+name)
 	}
 }

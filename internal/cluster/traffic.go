@@ -23,7 +23,7 @@ func (c *Cluster) resolveTraffic() {
 		var err error
 		t, err = spec.Scenario.Generate(workload.GenParams{
 			LoadRPS:  c.cfg.LoadRPS,
-			Clients:  c.cfg.Clients,
+			Clients:  c.cfg.ClientCount(),
 			Horizon:  c.cfg.Warmup + c.cfg.Measure,
 			Seed:     c.cfg.Seed,
 			ReqBytes: c.cfg.Workload.RequestBytes,
@@ -56,7 +56,7 @@ func (c *Cluster) installTraffic() {
 		// live would interleave lagged sends out of schedule order.
 		return
 	}
-	c.capture = workload.NewCapture(c.cfg.Clients, 0)
+	c.capture = workload.NewCapture(c.cfg.ClientCount(), 0)
 	for i, cl := range c.Clients {
 		cl.CoAccount = true
 		cl.OnSend = c.capture.Hook(i)

@@ -18,6 +18,7 @@ import (
 	"ncap/internal/resilience"
 	"ncap/internal/runner"
 	"ncap/internal/sim"
+	"ncap/internal/topology"
 )
 
 // Options tunes experiment fidelity. Quick() keeps benches fast; Full()
@@ -33,6 +34,13 @@ type Options struct {
 	// Experiments that sweep resilience themselves (E13) override it per
 	// cell.
 	Overload *resilience.Spec
+
+	// Topology, when non-nil, applies the cluster shape to every
+	// configuration in the sweep (ncapsweep's -topology/-racks flags).
+	// Experiments that sweep topologies themselves (E14) override it per
+	// cell. LoadRPS values stay aggregate, so paper load levels spread
+	// across the fleet rather than multiplying with it.
+	Topology *topology.Spec
 
 	// Runner, when non-nil, executes every simulation batch through the
 	// shared worker pool (parallelism, caching, isolation). A nil Runner
@@ -69,6 +77,9 @@ func (o Options) apply(cfg cluster.Config) cluster.Config {
 	cfg.Seed = o.Seed
 	if o.Overload != nil {
 		cfg.Overload = o.Overload
+	}
+	if o.Topology != nil {
+		cfg.Topology = o.Topology
 	}
 	return cfg
 }

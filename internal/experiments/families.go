@@ -27,6 +27,7 @@ func Families() []Family {
 		{Name: "e11", Desc: "policies on a degraded fabric"},
 		{Name: "e12", Desc: "policies under generated traffic scenarios"},
 		{Name: "e13", Desc: "overload resilience through saturation (0.5×–2× capacity)"},
+		{Name: "e14", Desc: "policies on compiled topologies (rack-of-16, 4-rack/2-spine fleet)"},
 		{Name: "all", Desc: "everything"},
 	}
 }

@@ -34,6 +34,7 @@ type Link struct {
 	inj     *fault.Injector
 	busyTil sim.Time
 	queued  int // bytes committed to the egress buffer but not yet on the wire
+	peak    int // high-water mark of queued over the whole run
 
 	// deq is a FIFO of wire sizes awaiting their dequeue events (one per
 	// committed frame, in serialization order). Keeping sizes here instead
@@ -168,6 +169,9 @@ func (l *Link) Send(p *Packet) bool {
 	}
 	txTime := l.serialization(ws)
 	l.queued += ws
+	if l.queued > l.peak {
+		l.peak = l.queued
+	}
 	l.busyTil += txTime
 	arrival := l.busyTil + l.cfg.Latency
 	l.Bytes.Add(int64(ws))
@@ -239,6 +243,11 @@ func (l *Link) Busy() bool { return l.busyTil > l.eng.Now() }
 
 // QueuedBytes returns the bytes waiting in (or entering) the egress buffer.
 func (l *Link) QueuedBytes() int { return l.queued }
+
+// PeakQueuedBytes returns the egress buffer's high-water mark over the
+// whole run (it is never reset at the measurement boundary: a port that
+// filled during warmup still filled).
+func (l *Link) PeakQueuedBytes() int { return l.peak }
 
 func (l *Link) serialization(bytes int) sim.Duration {
 	return sim.Duration(int64(bytes) * 8 * int64(sim.Second) / l.cfg.BandwidthBps)

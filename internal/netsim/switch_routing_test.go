@@ -1,0 +1,167 @@
+package netsim
+
+import (
+	"testing"
+
+	"ncap/internal/sim"
+)
+
+// A frame for a non-attached destination follows the route table over a
+// trunk into the next switch, which delivers it on its own port.
+func TestSwitchRoutesOverTrunk(t *testing.T) {
+	eng := sim.NewEngine()
+	tor := NewSwitch(eng, 500*sim.Nanosecond)
+	spine := NewSwitch(eng, 500*sim.Nanosecond)
+	far := &sink{eng: eng}
+	spine.Attach(2, DefaultLinkConfig(), far)
+
+	up := tor.Connect(DefaultLinkConfig(), spine)
+	tor.AddRoute(2, up)
+
+	in := NewLink(eng, DefaultLinkConfig(), tor)
+	in.Send(NewRequest(1, 2, 1, []byte("GET /")))
+	eng.Run(sim.Second)
+
+	if len(far.pkts) != 1 {
+		t.Fatalf("routed delivery: got %d frames, want 1", len(far.pkts))
+	}
+	if tor.Forwarded.Value() != 1 || spine.Forwarded.Value() != 1 {
+		t.Fatalf("forwarded: tor=%d spine=%d", tor.Forwarded.Value(), spine.Forwarded.Value())
+	}
+	if tor.Unroutable.Value() != 0 {
+		t.Fatalf("unroutable = %d", tor.Unroutable.Value())
+	}
+}
+
+// Default routes catch destinations with no port and no explicit route —
+// the ToR's "anything remote goes up" rule.
+func TestSwitchDefaultRoutes(t *testing.T) {
+	eng := sim.NewEngine()
+	tor := NewSwitch(eng, 0)
+	upstream := &sink{eng: eng}
+	up := tor.Connect(DefaultLinkConfig(), upstream)
+	tor.SetDefaultRoutes(up)
+
+	tor.Receive(NewRequest(1, 77, 1, []byte("x")))
+	eng.Run(sim.Second)
+	if len(upstream.pkts) != 1 {
+		t.Fatalf("default route delivered %d frames, want 1", len(upstream.pkts))
+	}
+}
+
+// A directly attached port always wins over routes and default routes, so
+// adding a forwarding table cannot disturb single-switch behavior.
+func TestSwitchPortBeatsRoutes(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := NewSwitch(eng, 0)
+	local := &sink{eng: eng}
+	wrong := &sink{eng: eng}
+	sw.Attach(5, DefaultLinkConfig(), local)
+	sw.AddRoute(5, sw.Connect(DefaultLinkConfig(), wrong))
+	sw.SetDefaultRoutes(sw.Connect(DefaultLinkConfig(), wrong))
+
+	sw.Receive(NewRequest(1, 5, 1, []byte("x")))
+	eng.Run(sim.Second)
+	if len(local.pkts) != 1 || len(wrong.pkts) != 0 {
+		t.Fatalf("port precedence: local=%d wrong=%d", len(local.pkts), len(wrong.pkts))
+	}
+}
+
+// ECMP is per-flow: every frame of one (src, dst) pair rides the same
+// equal-cost path, while the population of flows spreads over all paths.
+func TestSwitchECMPFlowSticky(t *testing.T) {
+	eng := sim.NewEngine()
+	tor := NewSwitch(eng, 0)
+	a := &sink{eng: eng}
+	b := &sink{eng: eng}
+	tor.SetDefaultRoutes(
+		tor.Connect(DefaultLinkConfig(), a),
+		tor.Connect(DefaultLinkConfig(), b),
+	)
+
+	for i := 0; i < 8; i++ {
+		tor.Receive(NewRequest(3, 9, uint64(i), []byte("x")))
+	}
+	eng.Run(sim.Second)
+	if got := len(a.pkts) + len(b.pkts); got != 8 {
+		t.Fatalf("delivered %d frames, want 8", got)
+	}
+	if len(a.pkts) != 0 && len(b.pkts) != 0 {
+		t.Fatalf("one flow split across paths: a=%d b=%d", len(a.pkts), len(b.pkts))
+	}
+
+	// Many flows must not all land on one path.
+	usedA, usedB := false, false
+	for src := Addr(1); src <= 64; src++ {
+		if FlowHash(src, 9, 2) == 0 {
+			usedA = true
+		} else {
+			usedB = true
+		}
+	}
+	if !usedA || !usedB {
+		t.Fatal("64 flows all hashed to one of two paths")
+	}
+}
+
+func TestFlowHashDeterministicAndInRange(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		for src := Addr(0); src < 40; src++ {
+			h := FlowHash(src, 1000, n)
+			if h < 0 || h >= n {
+				t.Fatalf("FlowHash(%d,1000,%d) = %d out of range", src, n, h)
+			}
+			if h != FlowHash(src, 1000, n) {
+				t.Fatalf("FlowHash not deterministic for src=%d", src)
+			}
+		}
+	}
+}
+
+// Unroutable frames invoke the audit hook, are counted, and are released
+// back to the pool (no leak).
+func TestSwitchUnroutableHookAndRelease(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := NewSwitch(eng, 0)
+	sw.SetName("tor0")
+	// The frame is released right after the hook returns, so the hook must
+	// copy what it needs rather than retain the packet.
+	var seen []Addr
+	sw.SetUnroutableHook(func(p *Packet) { seen = append(seen, p.Dst) })
+
+	sw.Receive(NewRequest(1, 42, 1, []byte("x")))
+	eng.Run(sim.Second)
+
+	if sw.Unroutable.Value() != 1 || sw.Forwarded.Value() != 0 {
+		t.Fatalf("counters: unroutable=%d forwarded=%d", sw.Unroutable.Value(), sw.Forwarded.Value())
+	}
+	if len(seen) != 1 || seen[0] != 42 {
+		t.Fatalf("hook saw %v", seen)
+	}
+	if sw.Name() != "tor0" {
+		t.Fatalf("name = %q", sw.Name())
+	}
+}
+
+// PeakQueuedBytes is a whole-run high-water mark of the egress backlog.
+func TestLinkPeakQueuedBytes(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := LinkConfig{BandwidthBps: 8_000, Latency: 0, QueueBytes: 1 << 20}
+	l := NewLink(eng, cfg, &sink{eng: eng})
+	if l.PeakQueuedBytes() != 0 {
+		t.Fatalf("fresh link peak = %d", l.PeakQueuedBytes())
+	}
+	var want int
+	for i := 0; i < 3; i++ {
+		p := NewRequest(1, 2, uint64(i), []byte("0123456789"))
+		want += p.WireSize()
+		l.Send(p)
+	}
+	if got := l.PeakQueuedBytes(); got != want {
+		t.Fatalf("peak after burst = %d, want %d", got, want)
+	}
+	eng.Run(10 * sim.Second)
+	if got := l.PeakQueuedBytes(); got != want {
+		t.Fatalf("peak must persist after drain: %d, want %d", got, want)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"ncap/internal/power"
 	"ncap/internal/runner"
 	"ncap/internal/sim"
+	"ncap/internal/stats"
 	"ncap/internal/telemetry"
 	"ncap/internal/trace"
 )
@@ -127,6 +128,30 @@ type Traffic struct {
 	SendLagTotalNs int64  `json:"send_lag_total_ns,omitempty"`
 }
 
+// Group is one topology group's rollup (compiled topologies only; see
+// internal/topology). Server groups carry the energy fields, client
+// groups the request accounting, latency and hop count.
+type Group struct {
+	Name      string   `json:"name"`
+	Role      string   `json:"role"`
+	Nodes     int      `json:"nodes"`
+	Hops      int      `json:"hops,omitempty"`
+	EnergyJ   float64  `json:"energy_j,omitempty"`
+	AvgPowerW float64  `json:"avg_power_w,omitempty"`
+	Sent      int64    `json:"sent,omitempty"`
+	Completed int64    `json:"completed,omitempty"`
+	Latency   *Latency `json:"latency,omitempty"`
+}
+
+// Switch is one fabric switch's rollup: frames forwarded, frames it could
+// not route, and its egress-queue high-water mark.
+type Switch struct {
+	Name           string `json:"name"`
+	Forwarded      int64  `json:"forwarded"`
+	Unroutable     int64  `json:"unroutable,omitempty"`
+	PeakQueueBytes int    `json:"peak_queue_bytes"`
+}
+
 // Run is one simulation's result with stable JSON field names. It wraps
 // cluster.Result: every value is copied, units are explicit, and nothing
 // wall-clock-dependent is included.
@@ -169,6 +194,16 @@ type Run struct {
 	// internal/resilience); absent when overload protection was off.
 	Overload *Overload `json:"overload,omitempty"`
 
+	// Groups and Switches carry the compiled-topology rollups (see
+	// internal/topology); absent on the paper's 4-node star, so legacy
+	// reports stay byte-identical.
+	Groups   []Group  `json:"groups,omitempty"`
+	Switches []Switch `json:"switches,omitempty"`
+
+	// Warnings flag suspicious-but-not-fatal run conditions. Currently:
+	// unroutable frames dropped in a compiled switch fabric.
+	Warnings []string `json:"warnings,omitempty"`
+
 	Events uint64 `json:"sim_events,omitempty"`
 
 	// Violations are the invariant violations an audited run collected
@@ -181,6 +216,19 @@ type Run struct {
 	Error string `json:"error,omitempty"`
 }
 
+// fromSummary converts a latency summary to explicit nanosecond fields.
+func fromSummary(s stats.Summary) Latency {
+	return Latency{
+		Count:  s.Count,
+		MeanNs: int64(s.Mean),
+		P50Ns:  int64(s.P50),
+		P90Ns:  int64(s.P90),
+		P95Ns:  int64(s.P95),
+		P99Ns:  int64(s.P99),
+		MaxNs:  int64(s.Max),
+	}
+}
+
 // FromResult wraps one cluster.Result as a report Run.
 func FromResult(tag string, r cluster.Result) Run {
 	run := Run{
@@ -188,15 +236,7 @@ func FromResult(tag string, r cluster.Result) Run {
 		Policy:   string(r.Policy),
 		Workload: r.Workload,
 		LoadRPS:  r.LoadRPS,
-		Latency: Latency{
-			Count:  r.Latency.Count,
-			MeanNs: int64(r.Latency.Mean),
-			P50Ns:  int64(r.Latency.P50),
-			P90Ns:  int64(r.Latency.P90),
-			P95Ns:  int64(r.Latency.P95),
-			P99Ns:  int64(r.Latency.P99),
-			MaxNs:  int64(r.Latency.Max),
-		},
+		Latency:  fromSummary(r.Latency),
 		EnergyJ:             r.EnergyJ,
 		AvgPowerW:           r.AvgPowerW,
 		ServedRPS:           r.ServedRPS,
@@ -253,6 +293,35 @@ func FromResult(tag string, r cluster.Result) Run {
 				Entries:     r.CEntries[s],
 			}
 		}
+	}
+	for _, g := range r.Groups {
+		rg := Group{
+			Name:      g.Name,
+			Role:      g.Role,
+			Nodes:     g.Nodes,
+			Hops:      g.Hops,
+			EnergyJ:   g.EnergyJ,
+			AvgPowerW: g.AvgPowerW,
+			Sent:      g.Sent,
+			Completed: g.Completed,
+		}
+		if g.Latency.Count > 0 {
+			lat := fromSummary(g.Latency)
+			rg.Latency = &lat
+		}
+		run.Groups = append(run.Groups, rg)
+	}
+	for _, s := range r.Switches {
+		run.Switches = append(run.Switches, Switch{
+			Name:           s.Name,
+			Forwarded:      s.Forwarded,
+			Unroutable:     s.Unroutable,
+			PeakQueueBytes: s.PeakQueueBytes,
+		})
+	}
+	if r.Unroutable > 0 {
+		run.Warnings = append(run.Warnings,
+			fmt.Sprintf("switch fabric dropped %d unroutable frame(s) — topology compilation bug", r.Unroutable))
 	}
 	return run
 }
