@@ -7,6 +7,7 @@ import (
 	"ncap/internal/app"
 	"ncap/internal/fault"
 	"ncap/internal/sim"
+	"ncap/internal/topology"
 )
 
 func auditQuickCfg(policy Policy, load float64) Config {
@@ -31,6 +32,33 @@ func TestAuditResultByteIdentical(t *testing.T) {
 		if string(a) != string(b) {
 			t.Fatalf("%s: audited result differs:\n%s\n%s", pol, a, b)
 		}
+	}
+}
+
+// TestAuditFleetPeaksByteIdentical pins the switch-queue high-water
+// contract on a compiled topology: PeakQueueBytes is a whole-run
+// maximum, never reset at the measurement boundary or between audit
+// epochs, so an audited fleet Result (peaks included) is byte-identical
+// to an unaudited one — the audit's post-collection grace window cannot
+// leak into the snapshot.
+func TestAuditFleetPeaksByteIdentical(t *testing.T) {
+	cfg := shardFleetConfig(topology.Rack(8, 4), 1500)
+	plain := New(cfg).Run()
+	var peak int
+	for _, sw := range plain.Switches {
+		if sw.PeakQueueBytes > peak {
+			peak = sw.PeakQueueBytes
+		}
+	}
+	if peak == 0 {
+		t.Fatal("no switch ever queued a byte; the test proves nothing")
+	}
+	cfg.Audit = true
+	audited := New(cfg).Run()
+	a, _ := json.Marshal(plain)
+	b, _ := json.Marshal(audited)
+	if string(a) != string(b) {
+		t.Fatalf("audited fleet result differs:\n%s\n%s", a, b)
 	}
 }
 

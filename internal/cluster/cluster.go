@@ -113,6 +113,17 @@ type Cluster struct {
 	// aud is the runtime invariant auditor (nil unless Config.Audit or
 	// the audit build tag enabled it).
 	aud *auditState
+
+	// Sharded execution (see shard.go): the engine partitions (engs[0]
+	// aliases eng) with their cross-shard outboxes, and the conservative
+	// time-sync coordinator. shards == nil is the serial path — the only
+	// path when Config.Shards ≤ 1 or a clamp applies. linkSeq numbers
+	// every link in construction order, giving boundary links their
+	// partition-invariant frame-ordering identity.
+	engs     []*sim.Engine
+	outboxes []*netsim.Outbox
+	shards   *shardSet
+	linkSeq  uint64
 }
 
 // chipState adapts the chip for core.DecisionEngine (chip-wide DVFS).
@@ -156,6 +167,9 @@ func New(cfg Config) *Cluster {
 	}
 	eng := sim.NewEngine()
 	c := &Cluster{cfg: cfg, eng: eng}
+	if n := cfg.effectiveShards(); n > 1 {
+		c.initShards(n)
+	}
 	if cfg.Topology != nil {
 		c.compile()
 	} else {
@@ -181,6 +195,9 @@ func New(cfg Config) *Cluster {
 
 // buildStar is the legacy construction path: one server, Config.Clients
 // burst clients and an optional bulk sender behind a single switch.
+// Sharded, the switch and server keep the primary engine and the clients
+// round-robin across the partitions; serially every shard helper is an
+// identity and this is byte-for-byte the historical construction.
 func (c *Cluster) buildStar() {
 	cfg := c.cfg
 	eng := c.eng
@@ -195,11 +212,12 @@ func (c *Cluster) buildStar() {
 	}
 
 	// Server node: processor, kernel, NIC, governors, driver, application
-	// and the policy's NCAP embodiment (Table 1).
-	n := c.addServerNode("", serverLabel(0), 0, ServerAddr, cfg.Cores, nicCfg, cfg.Driver)
+	// and the policy's NCAP embodiment (Table 1). Server 0 and the switch
+	// share shard 0 by construction (shardOf(0) == 0).
+	n := c.addServerNode(eng, "", serverLabel(0), 0, ServerAddr, cfg.Cores, nicCfg, cfg.Driver)
 	c.adoptPrimary(n)
-	c.NIC.SetLink(c.faulted(netsim.NewLink(eng, cfg.Link, c.sw), ServerAddr, fault.FromNode))
-	c.faulted(c.sw.Attach(ServerAddr, cfg.Link, c.NIC), ServerAddr, fault.ToNode)
+	c.NIC.SetLink(c.bridge(c.faulted(netsim.NewLink(eng, cfg.Link, c.sw), ServerAddr, fault.FromNode), 0, 0))
+	c.bridge(c.faulted(c.sw.Attach(ServerAddr, cfg.Link, c.NIC), ServerAddr, fault.ToNode), 0, 0)
 
 	// Traffic source: resolve a replayed schedule (explicit trace or
 	// generated scenario) before the clients are built so they come up
@@ -211,9 +229,11 @@ func (c *Cluster) buildStar() {
 	payload := cfg.Workload.RequestPayload()
 	for i := 0; i < cfg.Clients; i++ {
 		addr := firstClientAddr + netsim.Addr(i)
+		sh := c.shardOf(i)
+		ceng := c.shardEng(sh)
 		ccfg := c.clientConfig(period, i, cfg.Clients)
-		cl := app.NewClient(eng, addr, ServerAddr,
-			c.faulted(netsim.NewLink(eng, cfg.Link, c.sw), addr, fault.FromNode),
+		cl := app.NewClient(ceng, addr, ServerAddr,
+			c.bridge(c.faulted(netsim.NewLink(ceng, cfg.Link, c.sw), addr, fault.FromNode), sh, 0),
 			payload, ccfg,
 			sim.NewRand(cfg.Seed, "client"+string(rune('0'+i))))
 		cl.Replay = c.replayTrace != nil
@@ -221,15 +241,15 @@ func (c *Cluster) buildStar() {
 			cl.Budget = cfg.Overload.NewBudget()
 			cl.Breaker = cfg.Overload.NewBreaker()
 		}
-		c.faulted(c.sw.Attach(addr, cfg.Link, cl), addr, fault.ToNode)
+		c.bridge(c.faulted(c.sw.Attach(addr, cfg.Link, cl), addr, fault.ToNode), 0, sh)
 		c.Clients = append(c.Clients, cl)
 	}
 	c.installTraffic()
 
-	// Optional background bulk traffic.
+	// Optional background bulk traffic (rides shard 0 with the switch).
 	if cfg.BulkBps > 0 {
 		c.Bulk = app.NewBulkSender(eng, bulkAddr, ServerAddr,
-			c.faulted(netsim.NewLink(eng, cfg.Link, c.sw), bulkAddr, fault.FromNode),
+			c.bridge(c.faulted(netsim.NewLink(eng, cfg.Link, c.sw), bulkAddr, fault.FromNode), 0, 0),
 			cfg.BulkBps, 1400)
 	}
 }
@@ -273,12 +293,12 @@ func (c *Cluster) clientConfig(period sim.Duration, i, total int) app.ClientConf
 }
 
 // addServerNode builds one fully modeled server — chip, kernel, NIC,
-// governors, driver, application, NCAP embodiment — and appends it to the
-// node list. The caller wires its NIC to the fabric.
-func (c *Cluster) addServerNode(group, label string, rack int, addr netsim.Addr,
+// governors, driver, application, NCAP embodiment — on the given shard
+// engine, and appends it to the node list. The caller wires its NIC to
+// the fabric.
+func (c *Cluster) addServerNode(eng *sim.Engine, group, label string, rack int, addr netsim.Addr,
 	cores int, nicCfg nic.Config, drvCfg driver.Config) *serverNode {
 	cfg := c.cfg
-	eng := c.eng
 	n := &serverNode{addr: addr, group: group, label: label, rack: rack}
 
 	// Processor and kernel (Table 1).

@@ -19,22 +19,22 @@ import (
 func (c *Cluster) compile() {
 	cfg := c.cfg
 	spec := cfg.Topology
-	eng := c.eng
 
 	fwDelay := spec.FwDelay
 	if fwDelay == 0 {
 		fwDelay = topology.DefaultFwDelay
 	}
 
-	// Switch tiers. Switches() exposes them ToRs-first; trunkOwner below
-	// indexes into that order.
+	// Switch tiers, round-robin across the shard partitions (serial runs
+	// put everything on the primary engine). Switches() exposes them
+	// ToRs-first; trunkOwner below indexes into that order.
 	for r := 0; r < spec.Racks; r++ {
-		sw := netsim.NewSwitch(eng, fwDelay)
+		sw := netsim.NewSwitch(c.shardEng(c.shardOf(r)), fwDelay)
 		sw.SetName("tor" + strconv.Itoa(r))
 		c.tors = append(c.tors, sw)
 	}
 	for s := 0; s < spec.Spines; s++ {
-		sw := netsim.NewSwitch(eng, fwDelay)
+		sw := netsim.NewSwitch(c.shardEng(c.shardOf(s)), fwDelay)
 		sw.SetName("spine" + strconv.Itoa(s))
 		c.spines = append(c.spines, sw)
 	}
@@ -61,15 +61,15 @@ func (c *Cluster) compile() {
 	for s, sp := range c.spines {
 		downTo[s] = make([]*netsim.Link, spec.Racks)
 		for r, tor := range c.tors {
-			down := sp.Connect(uplink, tor)
+			down := c.bridge(sp.Connect(uplink, tor), c.shardOf(s), c.shardOf(r))
 			downTo[s][r] = down
 			c.addTrunk(down, "down/"+sp.Name()+"-"+tor.Name(), len(c.tors)+s)
 		}
 	}
 	for r, tor := range c.tors {
 		ups := make([]*netsim.Link, 0, spec.Spines)
-		for _, sp := range c.spines {
-			up := tor.Connect(uplink, sp)
+		for s, sp := range c.spines {
+			up := c.bridge(tor.Connect(uplink, sp), c.shardOf(r), c.shardOf(s))
 			ups = append(ups, up)
 			c.addTrunk(up, "up/"+tor.Name()+"-"+sp.Name(), r)
 		}
@@ -114,12 +114,13 @@ func (c *Cluster) compile() {
 		return cfg.Link
 	}
 
-	// attach wires a node endpoint to its rack's ToR (both directions,
-	// fault-injectable) and binds its address on every spine.
-	attach := func(pl placement, link netsim.LinkConfig, node netsim.Receiver) *netsim.Link {
+	// attach wires a node endpoint on shard sh to its rack's ToR (both
+	// directions, fault-injectable) and binds its address on every spine.
+	attach := func(pl placement, link netsim.LinkConfig, node netsim.Receiver, sh int) *netsim.Link {
 		tor := c.tors[pl.rack]
-		up := c.faulted(netsim.NewLink(eng, link, tor), pl.addr, fault.FromNode)
-		c.faulted(tor.Attach(pl.addr, link, node), pl.addr, fault.ToNode)
+		torSh := c.shardOf(pl.rack)
+		up := c.bridge(c.faulted(netsim.NewLink(c.shardEng(sh), link, tor), pl.addr, fault.FromNode), sh, torSh)
+		c.bridge(c.faulted(tor.Attach(pl.addr, link, node), pl.addr, fault.ToNode), torSh, sh)
 		for s := range c.spines {
 			c.spines[s].AddRoute(pl.addr, downTo[s][pl.rack])
 		}
@@ -152,8 +153,9 @@ func (c *Cluster) compile() {
 			if g.Driver != nil {
 				drvCfg = *g.Driver
 			}
-			n := c.addServerNode(g.Name, serverLabel(si), pl.rack, pl.addr, cores, nicCfg, drvCfg)
-			n.NIC.SetLink(attach(pl, link, n.NIC))
+			sh := c.shardOf(si)
+			n := c.addServerNode(c.shardEng(sh), g.Name, serverLabel(si), pl.rack, pl.addr, cores, nicCfg, drvCfg)
+			n.NIC.SetLink(attach(pl, link, n.NIC, sh))
 			c.groups[gi].servers = append(c.groups[gi].servers, len(c.nodes)-1)
 			serversByGroup[g.Name] = append(serversByGroup[g.Name], n)
 			allServers = append(allServers, n)
@@ -194,8 +196,11 @@ func (c *Cluster) compile() {
 			srv := targets[ci%len(targets)]
 			ccfg := c.clientConfig(period, ci, total)
 			tor := c.tors[pl.rack]
-			cl := app.NewClient(eng, pl.addr, srv.addr,
-				c.faulted(netsim.NewLink(eng, link, tor), pl.addr, fault.FromNode),
+			sh := c.shardOf(ci)
+			ceng := c.shardEng(sh)
+			torSh := c.shardOf(pl.rack)
+			cl := app.NewClient(ceng, pl.addr, srv.addr,
+				c.bridge(c.faulted(netsim.NewLink(ceng, link, tor), pl.addr, fault.FromNode), sh, torSh),
 				payload, ccfg,
 				sim.NewRand(cfg.Seed, clientLabel(ci)))
 			if len(targets) > 1 {
@@ -206,7 +211,7 @@ func (c *Cluster) compile() {
 				cl.Budget = cfg.Overload.NewBudget()
 				cl.Breaker = cfg.Overload.NewBreaker()
 			}
-			c.faulted(tor.Attach(pl.addr, link, cl), pl.addr, fault.ToNode)
+			c.bridge(c.faulted(tor.Attach(pl.addr, link, cl), pl.addr, fault.ToNode), torSh, sh)
 			for s := range c.spines {
 				c.spines[s].AddRoute(pl.addr, downTo[s][pl.rack])
 			}

@@ -161,8 +161,14 @@ func (c *Cluster) Run() Result {
 		c.Bulk.Start()
 	}
 
-	// Warmup.
-	c.eng.Run(cfg.Warmup)
+	// Warmup. Sharded runs advance through the coordinator's round loop
+	// (see shard.go): every phase boundary is a global barrier with all
+	// clocks aligned and nothing at or before it unfired, so the
+	// boundary work below reads exactly the state a serial run would.
+	if c.shards != nil {
+		defer c.shards.stop()
+	}
+	c.advance(cfg.Warmup)
 
 	// Measurement boundary: zero all accounting.
 	for _, n := range c.nodes {
@@ -190,7 +196,7 @@ func (c *Cluster) Run() Result {
 	// Measured window: all machine-side accounting (energy, residencies,
 	// action counters) is snapshotted at its end.
 	measureEnd := cfg.Warmup + cfg.Measure
-	c.eng.Run(measureEnd)
+	c.advance(measureEnd)
 	var nodeEnergy []float64
 	if cfg.Topology != nil {
 		// Per-node snapshots for the group rollups, taken at the same
@@ -213,7 +219,7 @@ func (c *Cluster) Run() Result {
 	if c.Sampler != nil {
 		c.Sampler.Stop()
 	}
-	c.eng.Run(measureEnd + cfg.Drain)
+	c.advance(measureEnd + cfg.Drain)
 	c.mergeClientStats(&res)
 	if cfg.Overload != nil {
 		c.collectOverload(&res, measureEnd)
@@ -359,7 +365,9 @@ func (c *Cluster) collect(energyJ float64) Result {
 	// The audit epoch ticker fires as ordinary engine events; subtracting
 	// them keeps Events — and with it the whole Result — byte-identical
 	// between audited and unaudited runs (the ticks are pure observation).
-	events := c.eng.Fired()
+	// Sharded runs sum over every partition: cross-shard delivery swaps a
+	// sender-side event for one injected on the receiver, one for one.
+	events := c.firedEvents()
 	if c.aud != nil {
 		events -= c.aud.ticks
 	}

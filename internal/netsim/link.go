@@ -62,6 +62,16 @@ type Link struct {
 	trace *telemetry.EventTrace
 	name  string
 
+	// Shard-boundary state (see shard.go; nil port = ordinary link).
+	// Deliveries on a boundary link are staged into port instead of
+	// scheduled on the sending engine and later injected on dstEng — the
+	// destination component's shard engine; linkID and frameIdx give
+	// each staged frame a partition-invariant identity.
+	port     *Outbox
+	dstEng   *sim.Engine
+	linkID   uint64
+	frameIdx uint64
+
 	// Audit state (nil/zero outside audited runs). The aud* counters run
 	// from t=0 and are never reset — unlike the Fault* counters above,
 	// which reset at the measurement boundary while frames are in flight —
@@ -181,6 +191,8 @@ func (l *Link) Send(p *Packet) bool {
 		if !l.sendFaulty(p, arrival) {
 			return true // serialized, then lost on the medium
 		}
+	} else if l.port != nil {
+		l.stage(p, arrival)
 	} else {
 		l.eng.AtArg2(arrival, linkDeliver, l, p)
 	}
@@ -216,7 +228,11 @@ func (l *Link) sendFaulty(p *Packet, arrival sim.Time) bool {
 		l.emitFault("delay", float64(act.ExtraDelay))
 		arrival += act.ExtraDelay
 	}
-	l.eng.AtArg2(arrival, linkDeliver, l, p)
+	if l.port != nil {
+		l.stage(p, arrival)
+	} else {
+		l.eng.AtArg2(arrival, linkDeliver, l, p)
+	}
 	if act.Duplicate {
 		l.FaultDups.Inc()
 		l.emitFault("dup", float64(p.WireSize()))
@@ -233,7 +249,11 @@ func (l *Link) sendFaulty(p *Packet, arrival sim.Time) bool {
 			dup = AllocPacket()
 		}
 		*dup = *p
-		l.eng.AtArg2(arrival+l.serialization(p.WireSize()), linkDeliver, l, dup)
+		if l.port != nil {
+			l.stage(dup, arrival+l.serialization(p.WireSize()))
+		} else {
+			l.eng.AtArg2(arrival+l.serialization(p.WireSize()), linkDeliver, l, dup)
+		}
 	}
 	return true
 }
@@ -245,8 +265,13 @@ func (l *Link) Busy() bool { return l.busyTil > l.eng.Now() }
 func (l *Link) QueuedBytes() int { return l.queued }
 
 // PeakQueuedBytes returns the egress buffer's high-water mark over the
-// whole run (it is never reset at the measurement boundary: a port that
-// filled during warmup still filled).
+// whole run. It is never reset — not at the measurement boundary, not
+// between audit epochs: a port that filled during warmup still filled,
+// and an audited run reports the same peak as an unaudited one (the
+// audit's post-collection grace window cannot perturb a Result already
+// snapshotted). Sharded runs keep the peak on the sending engine: the
+// egress buffer fills before a boundary frame is staged for its
+// destination shard.
 func (l *Link) PeakQueuedBytes() int { return l.peak }
 
 func (l *Link) serialization(bytes int) sim.Duration {

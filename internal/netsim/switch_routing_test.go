@@ -164,4 +164,24 @@ func TestLinkPeakQueuedBytes(t *testing.T) {
 	if got := l.PeakQueuedBytes(); got != want {
 		t.Fatalf("peak must persist after drain: %d, want %d", got, want)
 	}
+
+	// A later, smaller burst — a fresh measurement epoch in cluster terms —
+	// must never lower the high-water mark: the peak is whole-run, with no
+	// reset at phase or audit-epoch boundaries.
+	l.Send(NewRequest(1, 2, 100, []byte("x")))
+	if got := l.PeakQueuedBytes(); got != want {
+		t.Fatalf("smaller second burst moved the peak: %d, want %d", got, want)
+	}
+	eng.Run(20 * sim.Second)
+
+	// And a larger backlog still raises it.
+	var want2 int
+	for i := 0; i < 5; i++ {
+		p := NewRequest(1, 2, uint64(200+i), []byte("0123456789"))
+		want2 += p.WireSize()
+		l.Send(p)
+	}
+	if got := l.PeakQueuedBytes(); got != want2 || want2 <= want {
+		t.Fatalf("peak after larger burst = %d, want %d (> %d)", got, want2, want)
+	}
 }

@@ -91,8 +91,22 @@ const (
 // fires must hold a Handle (see Schedule*/At* Handle variants) instead.
 type Event struct {
 	when Time
-	seq  uint64 // tie-breaker: preserves scheduling order at equal times
-	gen  uint64 // incremented on recycle; validates Handles
+	// sat is the simulated time the event was scheduled. For locally
+	// scheduled events it equals the engine's now at the Schedule*/At*
+	// call; cross-engine injections (InjectAt) carry the sender engine's
+	// schedule time instead. Because seq increases monotonically and now
+	// never decreases, ordering by (when, sat, aux, seq) is identical to
+	// ordering by (when, seq) for purely local events — sat and aux only
+	// matter when events from different engines meet in one queue.
+	sat Time
+	// aux is a tie-break key for injected events: 0 for every local
+	// event, and a run-invariant identity (derived from the injecting
+	// link and frame index, see internal/cluster) for injections — so the
+	// fire order at equal (when, sat) does not depend on how a sharded
+	// run was partitioned.
+	aux uint64
+	seq uint64 // tie-breaker: preserves scheduling order at equal times
+	gen uint64 // incremented on recycle; validates Handles
 
 	// Container linkage: heap index for inNear/inOverflow, intrusive
 	// doubly-linked bucket list plus (level, slot) for inWheel. The free
@@ -250,6 +264,8 @@ func (e *Engine) alloc(t Time) *Event {
 		ev = &Event{eng: e}
 	}
 	ev.when = t
+	ev.sat = e.now
+	ev.aux = 0
 	ev.seq = e.seq
 	e.seq++
 	return ev
@@ -537,6 +553,72 @@ func (e *Engine) Step() bool {
 // Stop makes the current Run return after the in-flight event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// NextEventBound returns a lower bound on the time of the next event to
+// fire: the exact minimum of the near and overflow heaps, and for wheel
+// buckets the start of the earliest occupied granule (which is ≤ every
+// event inside it — computing the exact bucket minimum would defeat the
+// wheel's O(1) insertion). The bound is never below the current time, and
+// is maxTime when no events are pending. After Run(until) returns with
+// events still pending, NextEventBound() > until: Run only stops early
+// when popMin proves every remaining event is past the limit.
+//
+// The shard coordinator (internal/cluster) uses this to compute the
+// conservative synchronization horizon without disturbing the queue.
+func (e *Engine) NextEventBound() Time {
+	bound := maxTime
+	if ev := e.near.min(); ev != nil {
+		bound = ev.when
+	}
+	if ev := e.overflow.min(); ev != nil && ev.when < bound {
+		bound = ev.when
+	}
+	for lvl := 0; lvl < wheelLevels; lvl++ {
+		occ := e.levels[lvl].occupied
+		if occ == 0 {
+			continue
+		}
+		shift := uint(nearBits + lvl*levelBits)
+		tz := bits.TrailingZeros64(occ)
+		start := ((e.cur>>shift)&^(wheelSlots-1) | uint64(tz)) << shift
+		if Time(start) < bound {
+			bound = Time(start)
+		}
+	}
+	if bound != maxTime && bound < e.now {
+		bound = e.now
+	}
+	return bound
+}
+
+// InjectAt schedules fn(a0, a1) at the absolute time when, carrying an
+// explicit schedule time sat and tie-break key aux instead of the local
+// (now, 0) that At/Schedule stamp. This is the cross-engine delivery
+// primitive: a frame leaving one shard's engine arrives on another's with
+// the sender's schedule time and a partition-invariant identity, so the
+// receiving queue orders it exactly as the single-engine run would have
+// (see Event.sat/aux). when must not be in the past and sat must not be
+// after when; both would break the conservative-sync contract, so they
+// panic rather than clamp.
+func (e *Engine) InjectAt(when, sat Time, aux uint64, fn func(any, any), a0, a1 any) {
+	if fn == nil {
+		panic("sim: InjectAt called with nil fn")
+	}
+	if when < e.now {
+		panic(fmt.Sprintf("sim: InjectAt at %v before now %v", when, e.now))
+	}
+	if sat > when {
+		panic(fmt.Sprintf("sim: InjectAt sat %v after when %v", sat, when))
+	}
+	ev := e.alloc(when)
+	ev.sat = sat
+	ev.aux = aux
+	ev.afn2 = fn
+	ev.a0 = a0
+	ev.a1 = a1
+	e.insert(ev)
+	e.pending++
+}
+
 // eventHeap is a binary min-heap of events ordered by (when, seq), with
 // index maintenance for O(log n) removal by position.
 type eventHeap []*Event
@@ -544,6 +626,12 @@ type eventHeap []*Event
 func (a *Event) less(b *Event) bool {
 	if a.when != b.when {
 		return a.when < b.when
+	}
+	if a.sat != b.sat {
+		return a.sat < b.sat
+	}
+	if a.aux != b.aux {
+		return a.aux < b.aux
 	}
 	return a.seq < b.seq
 }
