@@ -36,6 +36,9 @@
 // report byte-identical to an uninterrupted one. SIGINT/SIGTERM drain
 // gracefully (finish in-flight jobs, write a partial report marked
 // interrupted, exit 130).
+//
+// Family dispatch lives in experiments.Render — the same registry ncapd
+// serves sweeps from, so the daemon and the CLI print identical tables.
 package main
 
 import (
@@ -45,9 +48,7 @@ import (
 	"runtime"
 	"time"
 
-	"ncap/internal/app"
 	"ncap/internal/cliflags"
-	"ncap/internal/cluster"
 	"ncap/internal/experiments"
 	"ncap/internal/report"
 	"ncap/internal/runner"
@@ -55,79 +56,7 @@ import (
 
 const tool = "ncapsweep"
 
-// handlers maps each experiment family to its runner. Keyed off the
-// experiments.Families registry — main checks at startup that the two
-// agree, so the -exp usage text (built from the registry) can never
-// advertise a family this switch doesn't implement, or vice versa.
-var handlers = map[string]func(o experiments.Options, profiles []app.Profile){
-	"lvl": func(o experiments.Options, profiles []app.Profile) {
-		for _, prof := range profiles {
-			latencyVsLoad(o, prof)
-		}
-	},
-	"policies": func(o experiments.Options, profiles []app.Profile) {
-		for _, prof := range profiles {
-			policies(o, prof)
-		}
-	},
-	"fig2": func(o experiments.Options, profiles []app.Profile) {
-		fig2(o)
-	},
-	"headline": func(o experiments.Options, profiles []app.Profile) {
-		for _, prof := range profiles {
-			headline(o, prof)
-		}
-	},
-	"ablations": func(o experiments.Options, profiles []app.Profile) {
-		for _, prof := range profiles {
-			ablations(o, prof)
-		}
-	},
-	"extensions": func(o experiments.Options, profiles []app.Profile) {
-		for _, prof := range profiles {
-			extensions(o, prof)
-		}
-	},
-	"e11": func(o experiments.Options, profiles []app.Profile) {
-		for _, prof := range profiles {
-			experiments.RenderDegraded(os.Stdout, o, prof)
-		}
-	},
-	"e12": func(o experiments.Options, profiles []app.Profile) {
-		for _, prof := range profiles {
-			experiments.RenderScenarios(os.Stdout, o, prof)
-		}
-	},
-	"e13": func(o experiments.Options, profiles []app.Profile) {
-		for _, prof := range profiles {
-			experiments.RenderOverload(os.Stdout, o, prof)
-		}
-	},
-	"e14": func(o experiments.Options, profiles []app.Profile) {
-		for _, prof := range profiles {
-			experiments.RenderTopology(os.Stdout, o, prof)
-		}
-	},
-	"all": nil, // resolved in main: runs every other family in registry order
-}
-
-// checkHandlers panics unless the handlers map and the experiments.Families
-// registry name exactly the same set — the guard that keeps usage text,
-// dispatch, and the registry from drifting apart.
-func checkHandlers() {
-	fams := experiments.Families()
-	if len(handlers) != len(fams) {
-		panic(fmt.Sprintf("ncapsweep: %d handlers but %d registered families", len(handlers), len(fams)))
-	}
-	for _, f := range fams {
-		if _, ok := handlers[f.Name]; !ok {
-			panic(fmt.Sprintf("ncapsweep: registered family %q has no handler", f.Name))
-		}
-	}
-}
-
 func main() {
-	checkHandlers()
 	var (
 		exp      = flag.String("exp", "all", "experiment: "+experiments.FamilyNames())
 		workload = flag.String("workload", "", "restrict to one workload (apache, memcached)")
@@ -171,17 +100,8 @@ func main() {
 
 	profiles := cliflags.Workloads(tool, *workload)
 
-	switch h, ok := handlers[*exp]; {
-	case !ok:
-		cliflags.Fatalf(tool, "unknown -exp %q (want one of: %s)", *exp, experiments.FamilyNames())
-	case h != nil:
-		h(o, profiles)
-	default: // "all": every other family, in registry order
-		for _, f := range experiments.Families() {
-			if g := handlers[f.Name]; g != nil {
-				g(o, profiles)
-			}
-		}
+	if err := experiments.Render(os.Stdout, *exp, o, profiles); err != nil {
+		cliflags.Fatalf(tool, "%v", err)
 	}
 
 	if out.JSON != "" {
@@ -208,80 +128,4 @@ func main() {
 	if pool.Stats().Failures > 0 || violated {
 		os.Exit(1)
 	}
-}
-
-func latencyVsLoad(o experiments.Options, prof app.Profile) {
-	fmt.Printf("# Fig. 7 — %s: 95th-percentile latency vs load (perf policy)\n", prof.Name)
-	pts := experiments.LatencyVsLoad(o, prof)
-	for _, p := range pts {
-		fmt.Printf("load=%7.0f rps   p95=%9.3f ms\n", p.LoadRPS, p.P95.Millis())
-	}
-	sla, knee := experiments.FindSLA(pts)
-	fmt.Printf("inflexion at %.0f rps -> SLA = %.3f ms (paper: %v)\n\n",
-		knee, sla.Millis(), cluster.PaperSLA(prof.Name))
-}
-
-func policies(o experiments.Options, prof app.Profile) {
-	sla, _ := experiments.MeasuredSLA(o, prof)
-	rows := experiments.Comparison(o, prof, sla)
-	fmt.Printf("# Fig. 8/9 — measured SLA %.3f ms\n", sla.Millis())
-	experiments.WriteComparison(os.Stdout, prof.Name, rows)
-	fmt.Println()
-}
-
-func fig2(o experiments.Options) {
-	fmt.Println("# Fig. 2 — Apache p95 latency vs ondemand invocation period")
-	fmt.Printf("%-10s %-8s %10s\n", "period", "load", "p95(ms)")
-	for _, r := range experiments.Fig2(o) {
-		fmt.Printf("%-10v %-8s %10.3f\n", r.Period, r.Level, r.P95.Millis())
-	}
-	fmt.Println()
-}
-
-func headline(o experiments.Options, prof app.Profile) {
-	sla, _ := experiments.MeasuredSLA(o, prof)
-	rows := experiments.Comparison(o, prof, sla)
-	h := experiments.Headline(prof.Name, sla, rows)
-	fmt.Printf("# Headline claims — %s (SLA %.3f ms)\n", prof.Name, sla.Millis())
-	for _, r := range h.Rows {
-		best := "n/a: none meets SLA"
-		if r.BestConventional != "" {
-			best = fmt.Sprintf("%s: %+.1f%%", r.BestConventional, -r.SavingVsBestPct)
-		}
-		fmt.Printf("%-7s ncap.aggr vs perf: %+6.1f%%   vs best conventional (%s)   SLA met: %v\n",
-			r.Level, -r.SavingVsPerfPct, best, r.NcapMeetsSLA)
-	}
-	fmt.Println()
-}
-
-func extensions(o experiments.Options, prof app.Profile) {
-	fmt.Printf("# Extensions (Sec. 7) — %s (low load)\n", prof.Name)
-	for _, r := range experiments.ExtensionMultiQueue(o, prof, cluster.LowLoad) {
-		fmt.Printf("  mq  %-24s p95=%9.3fms energy=%7.2fJ boosts=%d\n",
-			r.Name, r.Result.Latency.P95.Millis(), r.Result.EnergyJ, r.Result.Boosts)
-	}
-	for _, r := range experiments.ExtensionTOE(o, prof, cluster.LowLoad) {
-		fmt.Printf("  toe %-24s p95=%9.3fms energy=%7.2fJ\n",
-			r.Name, r.Result.Latency.P95.Millis(), r.Result.EnergyJ)
-	}
-	fmt.Println()
-}
-
-func ablations(o experiments.Options, prof app.Profile) {
-	fmt.Printf("# Ablations — %s (low load)\n", prof.Name)
-	cit := experiments.AblationCIT(o, prof, cluster.LowLoad)
-	fmt.Printf("%-22s removing it: p95 %+6.1f%%  energy %+6.1f%%  (cit-wakes %d -> %d)\n",
-		cit.Name, cit.LatencyDeltaPct, cit.EnergyDeltaPct, cit.With.CITWakes, cit.Without.CITWakes)
-	ovl := experiments.AblationOverlap(o, prof, cluster.LowLoad)
-	fmt.Printf("%-22s removing it: p95 %+6.1f%%  energy %+6.1f%%\n",
-		ovl.Name, ovl.LatencyDeltaPct, ovl.EnergyDeltaPct)
-	ctx := experiments.AblationContext(o)
-	fmt.Printf("%-22s going naive: p95 %+6.1f%%  energy %+6.1f%%  (stepdowns %d -> %d)\n",
-		ctx.Name, ctx.LatencyDeltaPct, ctx.EnergyDeltaPct, ctx.With.StepDowns, ctx.Without.StepDowns)
-	fmt.Println("fcons sweep:")
-	for _, r := range experiments.AblationFCONS(o, prof, cluster.LowLoad) {
-		fmt.Printf("  FCONS=%-3d p95=%9.3f ms  energy=%7.2f J  stepdowns=%d\n",
-			r.FCONS, r.Result.Latency.P95.Millis(), r.Result.EnergyJ, r.Result.StepDowns)
-	}
-	fmt.Println()
 }

@@ -1,0 +1,77 @@
+package cliflags
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"ncap/internal/runner"
+)
+
+// waitForLine reads sc until a line containing want appears.
+func waitForLine(t *testing.T, sc *bufio.Scanner, want string) {
+	t.Helper()
+	for sc.Scan() {
+		if strings.Contains(sc.Text(), want) {
+			return
+		}
+	}
+	t.Fatalf("helper exited before printing %q (scan err: %v)", want, sc.Err())
+}
+
+// TestSecondSignalExitsImmediately pins the documented HandleSignals
+// contract end to end, in a real subprocess: the first SIGINT drains
+// gracefully (the handler announces it and keeps the process alive), and
+// a second SIGINT aborts immediately with InterruptExitCode — no waiting
+// for in-flight work.
+func TestSecondSignalExitsImmediately(t *testing.T) {
+	cmd := exec.Command(os.Args[0], "-test.run", "TestSignalHelper$")
+	cmd.Env = append(os.Environ(), "CLIFLAGS_SIGNAL=1")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Watchdog: a hung helper must not wedge the suite.
+	watchdog := time.AfterFunc(30*time.Second, func() { cmd.Process.Kill() })
+	defer watchdog.Stop()
+
+	sc := bufio.NewScanner(stderr)
+	waitForLine(t, sc, "READY") // handler installed
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	// The first signal is the graceful path: the handler must announce the
+	// drain and the process must still be running.
+	waitForLine(t, sc, "repeat to abort")
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	err = cmd.Wait()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("helper exit: %v, want exit error with code %d", err, InterruptExitCode)
+	}
+	if code := ee.ExitCode(); code != InterruptExitCode {
+		t.Fatalf("second signal exited %d, want %d", code, InterruptExitCode)
+	}
+}
+
+// TestSignalHelper is the re-exec target: it installs the signal handler
+// over an idle pool and sleeps. Without the second-signal abort it would
+// outlive the watchdog, failing the parent.
+func TestSignalHelper(t *testing.T) {
+	if os.Getenv("CLIFLAGS_SIGNAL") != "1" {
+		t.Skip("re-exec target only")
+	}
+	pool := runner.New(runner.Options{Jobs: 1})
+	HandleSignals("helper", pool)
+	fmt.Fprintln(os.Stderr, "READY")
+	time.Sleep(time.Minute) // killed by the second signal long before this
+}

@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"ncap/internal/cluster"
 )
@@ -16,6 +18,24 @@ import (
 // for exactly the same reason.
 const checkpointSchema = "ncap-checkpoint-v1"
 
+// Checkpoint rewrite amortization defaults: a full-document rewrite after
+// every completed job is O(n²) I/O on a large sweep, so adds only flush
+// when enough jobs (defaultCheckpointEvery) or enough wall-clock time
+// (defaultCheckpointInterval) accumulated since the last write. Every
+// batch still ends with a final flush, so a completed Run's checkpoint is
+// never stale; a crash mid-batch loses at most the amortization window,
+// which resume re-executes.
+const (
+	defaultCheckpointEvery    = 8
+	defaultCheckpointInterval = 2 * time.Second
+)
+
+// checkpointSyncs counts fsync round trips (file + parent directory) the
+// checkpoint writer completed, for tests asserting the durability path
+// actually runs — an atomic rename alone survives process death but not
+// machine crash.
+var checkpointSyncs atomic.Int64
+
 // checkpointFile is the on-disk document: successful results keyed by
 // job content key. encoding/json sorts map keys, so the serialization is
 // deterministic for a given entry set.
@@ -24,10 +44,11 @@ type checkpointFile struct {
 	Entries map[string]cluster.Result `json:"entries"`
 }
 
-// checkpoint persists completed-job results across process restarts. Every
-// add rewrites the whole file atomically (temp file + rename in the same
-// directory), so the file on disk is always a complete, parseable document
-// — a sweep killed mid-write leaves the previous checkpoint intact.
+// checkpoint persists completed-job results across process restarts. The
+// file is rewritten atomically (temp file + rename in the same directory,
+// fsync on the file and the directory entry), so the document on disk is
+// always complete and durable even across a machine crash — a sweep
+// killed mid-write leaves the previous checkpoint intact.
 //
 // Lookups consult only the entries loaded from the resume file, never the
 // ones added during this run: replay means "jobs finished before the
@@ -36,20 +57,36 @@ type checkpointFile struct {
 type checkpoint struct {
 	path string // write target; empty disables writing (resume-only)
 
-	mu      sync.Mutex
-	resumed map[string]cluster.Result
-	entries map[string]cluster.Result
+	every    int
+	interval time.Duration
+
+	mu        sync.Mutex
+	resumed   map[string]cluster.Result
+	entries   map[string]cluster.Result
+	dirty     int       // entries added since the last flush
+	lastFlush time.Time // wall clock of the last completed flush
+	flushes   int64     // completed rewrites, for amortization tests
 }
 
 // openCheckpoint prepares a checkpoint writing to path (empty for
 // resume-only use) and seeded from the resume file (empty to start
 // fresh). A missing, unparseable or wrong-schema resume file is an error;
-// the caller decides whether to degrade to a fresh run.
-func openCheckpoint(path, resume string) (*checkpoint, error) {
+// the caller decides whether to degrade to a fresh run. every/interval
+// amortize rewrites; zero values select the package defaults.
+func openCheckpoint(path, resume string, every int, interval time.Duration) (*checkpoint, error) {
+	if every <= 0 {
+		every = defaultCheckpointEvery
+	}
+	if interval <= 0 {
+		interval = defaultCheckpointInterval
+	}
 	ck := &checkpoint{
-		path:    path,
-		resumed: map[string]cluster.Result{},
-		entries: map[string]cluster.Result{},
+		path:      path,
+		every:     every,
+		interval:  interval,
+		resumed:   map[string]cluster.Result{},
+		entries:   map[string]cluster.Result{},
+		lastFlush: time.Now(),
 	}
 	if resume == "" {
 		return ck, nil
@@ -92,12 +129,30 @@ func (ck *checkpoint) lookup(key string) (cluster.Result, bool) {
 	return res, ok
 }
 
-// add records a completed job and rewrites the checkpoint file.
+// add records a completed job and rewrites the checkpoint file once the
+// amortization window (every k adds or t elapsed) fills. Callers must
+// pair batches with flush() so the final state always lands on disk.
 func (ck *checkpoint) add(key string, res cluster.Result) error {
 	ck.mu.Lock()
 	defer ck.mu.Unlock()
 	ck.entries[key] = res
+	ck.dirty++
 	if ck.path == "" {
+		ck.dirty = 0
+		return nil
+	}
+	if ck.dirty < ck.every && time.Since(ck.lastFlush) < ck.interval {
+		return nil
+	}
+	return ck.flushLocked()
+}
+
+// flush forces any buffered entries to disk — the end-of-batch call that
+// makes "Run returned" imply "checkpoint is current".
+func (ck *checkpoint) flush() error {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	if ck.path == "" || ck.dirty == 0 {
 		return nil
 	}
 	return ck.flushLocked()
@@ -114,14 +169,20 @@ func (ck *checkpoint) flushLocked() error {
 			return fmt.Errorf("runner: checkpoint: %w", err)
 		}
 	}
-	// Write-then-rename in the target directory: rename is atomic within
-	// a filesystem, so readers (and a crash) see the old or the new file,
-	// never a torn one.
+	// Write, fsync, rename, fsync the directory: rename alone is atomic
+	// within a filesystem (readers and a process crash see the old or the
+	// new file, never a torn one), but only the fsync pair makes the new
+	// contents and the directory entry survive a machine crash.
 	tmp, err := os.CreateTemp(dir, filepath.Base(ck.path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("runner: checkpoint: %w", err)
 	}
 	if _, err := tmp.Write(append(blob, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("runner: checkpoint: %w", err)
@@ -134,5 +195,28 @@ func (ck *checkpoint) flushLocked() error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("runner: checkpoint: %w", err)
 	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("runner: checkpoint: %w", err)
+	}
+	ck.dirty = 0
+	ck.lastFlush = time.Now()
+	ck.flushes++
+	checkpointSyncs.Add(1)
 	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a machine
+// crash, not only a process one. dir may be "." for the working directory.
+func syncDir(dir string) error {
+	if dir == "" {
+		dir = "."
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	// Some filesystems reject fsync on directories; treat that as best
+	// effort rather than failing the checkpoint that already renamed.
+	_ = d.Sync()
+	return d.Close()
 }

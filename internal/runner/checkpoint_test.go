@@ -3,9 +3,11 @@ package runner
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"ncap/internal/app"
 	"ncap/internal/cluster"
@@ -112,6 +114,82 @@ func TestResumeMissingFileDegradesGracefully(t *testing.T) {
 	}
 	if _, err := os.Stat(ck); err != nil {
 		t.Fatalf("fresh run did not checkpoint: %v", err)
+	}
+}
+
+// TestCheckpointWriteSyncs: the checkpoint write path fsyncs the file and
+// its directory entry — an atomic rename alone survives process death but
+// not machine crash, so the durability counter must advance with a batch.
+func TestCheckpointWriteSyncs(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "ck.json")
+	before := checkpointSyncs.Load()
+	out := New(Options{Jobs: 2, Checkpoint: ck}).Run(tinyJobs())
+	for i, o := range out {
+		if o.Err != nil {
+			t.Fatalf("job %d: %v", i, o.Err)
+		}
+	}
+	if got := checkpointSyncs.Load(); got <= before {
+		t.Fatalf("checkpointSyncs = %d after batch, want > %d", got, before)
+	}
+	if _, err := os.Stat(ck); err != nil {
+		t.Fatalf("checkpoint missing after synced batch: %v", err)
+	}
+}
+
+// TestCheckpointAmortizedRewrites: adds only rewrite the document once the
+// amortization window fills, and flush() lands the remainder — 10 adds at
+// every=4 must cost 3 rewrites, not 10.
+func TestCheckpointAmortizedRewrites(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	ck, err := openCheckpoint(path, "", 4, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := ck.add(fmt.Sprintf("key-%02d", i), cluster.Result{Completed: int64(i)}); err != nil {
+			t.Fatalf("add %d: %v", i, err)
+		}
+	}
+	if ck.flushes != 2 {
+		t.Fatalf("flushes after 10 adds at every=4: got %d, want 2", ck.flushes)
+	}
+	if err := ck.flush(); err != nil {
+		t.Fatal(err)
+	}
+	if ck.flushes != 3 || ck.dirty != 0 {
+		t.Fatalf("after final flush: flushes=%d dirty=%d, want 3, 0", ck.flushes, ck.dirty)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := parseCheckpoint(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 10 {
+		t.Fatalf("flushed checkpoint has %d entries, want 10", len(entries))
+	}
+	// flush with nothing buffered is a no-op, not another rewrite.
+	if err := ck.flush(); err != nil || ck.flushes != 3 {
+		t.Fatalf("idle flush: err=%v flushes=%d, want nil, 3", err, ck.flushes)
+	}
+}
+
+// TestCheckpointIntervalFlush: the wall-clock half of the amortization
+// window — with a tiny interval, even a single add lands on disk.
+func TestCheckpointIntervalFlush(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	ck, err := openCheckpoint(path, "", 1000, time.Nanosecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.add("only", cluster.Result{Completed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if ck.flushes != 1 {
+		t.Fatalf("flushes = %d after interval-triggered add, want 1", ck.flushes)
 	}
 }
 

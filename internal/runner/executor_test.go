@@ -1,0 +1,73 @@
+package runner
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"ncap/internal/app"
+	"ncap/internal/cluster"
+)
+
+// TestExecutorHookReplacesSimulation: with Options.Executor set the pool
+// never simulates locally — it hands the job to the hook and records its
+// result verbatim, keeping ordering and stats. This is the dispatch seam
+// the orchestration service drives lease-based workers through.
+func TestExecutorHookReplacesSimulation(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[string]int{}
+	pool := New(Options{Jobs: 2, Executor: func(j Job) (cluster.Result, error) {
+		mu.Lock()
+		seen[j.Tag]++
+		mu.Unlock()
+		return cluster.Result{Completed: 42}, nil
+	}})
+	jobs := tinyJobs()
+	for i, o := range pool.Run(jobs) {
+		if o.Err != nil || o.Result.Completed != 42 {
+			t.Fatalf("job %d: err=%v completed=%d, want executor result", i, o.Err, o.Result.Completed)
+		}
+	}
+	if len(seen) != len(jobs) {
+		t.Fatalf("executor saw %d distinct jobs, want %d", len(seen), len(jobs))
+	}
+	for tag, n := range seen {
+		if n != 1 {
+			t.Fatalf("job %q executed %d times, want 1", tag, n)
+		}
+	}
+}
+
+// TestExecutorErrorSurfacesAfterRetries: an executor failure flows through
+// the pool's retry loop like a simulation failure, and the final error
+// lands on the outcome.
+func TestExecutorErrorSurfacesAfterRetries(t *testing.T) {
+	boom := errors.New("worker lost")
+	var calls int
+	pool := New(Options{Jobs: 1, Retries: 2, Executor: func(Job) (cluster.Result, error) {
+		calls++
+		return cluster.Result{}, boom
+	}})
+	o := pool.RunOne(Job{Tag: "t", Config: tinyCfg(cluster.Perf, app.MemcachedProfile(), 35_000)})
+	if !errors.Is(o.Err, boom) {
+		t.Fatalf("err = %v, want %v", o.Err, boom)
+	}
+	if calls != 3 {
+		t.Fatalf("executor called %d times with Retries=2, want 3", calls)
+	}
+	if o.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", o.Attempts)
+	}
+}
+
+// TestExecutorPanicIsolated: a panicking executor becomes a failed
+// outcome, never a crashed pool.
+func TestExecutorPanicIsolated(t *testing.T) {
+	pool := New(Options{Jobs: 1, Executor: func(Job) (cluster.Result, error) {
+		panic("executor bug")
+	}})
+	o := pool.RunOne(Job{Tag: "t", Config: tinyCfg(cluster.Perf, app.MemcachedProfile(), 35_000)})
+	if o.Err == nil {
+		t.Fatal("panicking executor produced a nil error")
+	}
+}

@@ -71,6 +71,25 @@ type Options struct {
 	// an uninterrupted sweep. An unreadable file disables resume with a
 	// note on Progress; the sweep still runs, just from scratch.
 	Resume string
+	// CheckpointEvery and CheckpointInterval amortize checkpoint
+	// rewrites: the file is flushed once that many jobs completed since
+	// the last write, or that much wall-clock time passed, whichever
+	// comes first — plus a final flush when each batch returns. Zero
+	// selects the defaults (8 jobs, 2 s). Rewriting the whole document
+	// after every job is O(n²) I/O on a large sweep; amortization trades
+	// at most one window of re-execution after a crash for linear I/O.
+	CheckpointEvery    int
+	CheckpointInterval time.Duration
+	// Executor, when non-nil, replaces in-process simulation: instead of
+	// constructing and running the cluster locally, the pool hands each
+	// job to this function and treats its return as the job's execution.
+	// The orchestration service uses it to dispatch jobs to lease-based
+	// workers while keeping the pool's ordering, caching, retry and
+	// outcome-recording semantics. The executor owns isolation (panics
+	// on its own goroutine are still recovered into failure rows, but
+	// timeouts and retries of the remote work are its business — pair it
+	// with Retries: 0 unless double-retry is intended).
+	Executor func(Job) (cluster.Result, error)
 }
 
 // ErrInterrupted marks a job the pool never dispatched because Stop was
@@ -116,8 +135,10 @@ type Stats struct {
 
 // Pool runs batches of simulation jobs across a bounded set of workers.
 // A Pool is stateless between batches apart from its cache directory and
-// cumulative Stats; it is safe to reuse across many Run calls and from
-// a single goroutine at a time.
+// cumulative Stats; it is safe to reuse across many Run calls. Run batches
+// should be issued from one goroutine at a time, but RunOne may be called
+// concurrently from many goroutines — cache, checkpoint, and stats are
+// internally synchronized.
 type Pool struct {
 	opts  Options
 	cache *cache
@@ -157,14 +178,14 @@ func New(opts Options) *Pool {
 		}
 	}
 	if opts.Checkpoint != "" || opts.Resume != "" {
-		ck, err := openCheckpoint(opts.Checkpoint, opts.Resume)
+		ck, err := openCheckpoint(opts.Checkpoint, opts.Resume, opts.CheckpointEvery, opts.CheckpointInterval)
 		if err != nil {
 			// Same fallback contract as the cache: the sweep runs from
 			// scratch, which is slower but produces identical output.
 			if opts.Progress != nil {
 				fmt.Fprintf(opts.Progress, "runner: %v (checkpoint resume disabled)\n", err)
 			}
-			ck, _ = openCheckpoint(opts.Checkpoint, "")
+			ck, _ = openCheckpoint(opts.Checkpoint, "", opts.CheckpointEvery, opts.CheckpointInterval)
 		}
 		p.ckpt = ck
 	}
@@ -266,14 +287,18 @@ feed:
 	for i := sent; i < len(jobs); i++ {
 		out[i] = Outcome{Job: jobs[i], Err: ErrInterrupted}
 	}
+	p.checkpointFlush()
 	p.record(out)
 	return out
 }
 
 // RunOne executes a single job with the pool's isolation and caching.
+// Unlike Run, RunOne is safe to call from many goroutines concurrently —
+// the orchestration service's workers share one pool this way.
 func (p *Pool) RunOne(job Job) Outcome {
 	p.jobs.Add(1)
 	o := p.runOne(job)
+	p.checkpointFlush()
 	p.record([]Outcome{o})
 	return o
 }
@@ -399,6 +424,17 @@ func (p *Pool) checkpointAdd(key, tag string, res cluster.Result) {
 	}
 }
 
+// checkpointFlush forces buffered checkpoint entries to disk at the end
+// of a batch, so amortized rewrites never leave a finished Run stale.
+func (p *Pool) checkpointFlush() {
+	if p.ckpt == nil {
+		return
+	}
+	if err := p.ckpt.flush(); err != nil && p.opts.Progress != nil {
+		fmt.Fprintf(p.opts.Progress, "runner: %v\n", err)
+	}
+}
+
 // jobResult crosses the isolation goroutine boundary. The channel is
 // buffered so an abandoned (timed-out) simulation can still deposit its
 // result and exit instead of leaking forever.
@@ -413,6 +449,10 @@ type jobResult struct {
 // simulator (a pathological configuration tripping an internal invariant)
 // or a hung run cannot take down or stall the whole sweep.
 func (p *Pool) execute(job Job) (cluster.Result, []audit.Violation, cluster.ShardStats, error) {
+	if p.opts.Executor != nil {
+		res, err := p.opts.Executor(job)
+		return res, nil, cluster.ShardStats{}, err
+	}
 	ch := make(chan jobResult, 1)
 	go func() {
 		defer func() {

@@ -1,0 +1,230 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"ncap/internal/cluster"
+)
+
+// Client talks to a running ncapd over HTTP. The zero value is not
+// usable; NewClient fills in the base URL and a default http.Client.
+type Client struct {
+	Base string
+	HTTP *http.Client
+}
+
+// NewClient returns a client for an ncapd at base (e.g.
+// "http://localhost:8787").
+func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/"), HTTP: &http.Client{}}
+}
+
+// apiError decodes the service's {"error": ...} body into a Go error.
+func apiError(resp *http.Response) error {
+	defer resp.Body.Close()
+	blob, _ := io.ReadAll(io.LimitReader(resp.Body, maxRequestBytes))
+	var body struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(blob, &body) == nil && body.Error != "" {
+		return fmt.Errorf("%s: %s", resp.Status, body.Error)
+	}
+	return fmt.Errorf("%s", resp.Status)
+}
+
+func (c *Client) getJSON(path string, v any) error {
+	resp, err := c.HTTP.Get(c.Base + path)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func (c *Client) postJSON(path string, body, v any) (int, error) {
+	blob, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.HTTP.Post(c.Base+path, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode >= 400 {
+		return resp.StatusCode, apiError(resp)
+	}
+	defer resp.Body.Close()
+	if v != nil && resp.StatusCode != http.StatusNoContent {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// Submit posts a sweep and returns its ID.
+func (c *Client) Submit(req SubmitRequest) (string, error) {
+	var out struct {
+		ID string `json:"id"`
+	}
+	if _, err := c.postJSON("/v1/sweeps", req, &out); err != nil {
+		return "", err
+	}
+	return out.ID, nil
+}
+
+// Status fetches one sweep's status.
+func (c *Client) Status(id string) (SweepStatus, error) {
+	var st SweepStatus
+	err := c.getJSON("/v1/sweeps/"+id, &st)
+	return st, err
+}
+
+// List fetches every sweep's status.
+func (c *Client) List() ([]SweepStatus, error) {
+	var out []SweepStatus
+	err := c.getJSON("/v1/sweeps", &out)
+	return out, err
+}
+
+// Report fetches a finished sweep's ncap-report-v1 bytes.
+func (c *Client) Report(id string) ([]byte, error) {
+	resp, err := c.HTTP.Get(c.Base + "/v1/sweeps/" + id + "/report")
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// Table fetches a finished sweep's rendered text tables.
+func (c *Client) Table(id string) ([]byte, error) {
+	resp, err := c.HTTP.Get(c.Base + "/v1/sweeps/" + id + "/table")
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// Watch streams a sweep's events from the given cursor, invoking fn for
+// each, until the sweep finishes or ctx is done. It returns the last
+// cursor it saw, so a caller can reconnect with no gap after any
+// disconnect — including a server restart, because cursors survive in the
+// journal. The returned error is nil when the sweep reached a final
+// state.
+func (c *Client) Watch(ctx context.Context, id string, cursor int, fn func(Event)) (int, error) {
+	for {
+		final, last, err := c.watchOnce(ctx, id, cursor, fn)
+		cursor = last
+		if final || ctx.Err() != nil {
+			return cursor, err
+		}
+		if err != nil {
+			// Disconnected mid-stream (server restart, network blip):
+			// back off briefly and resume from the cursor.
+			select {
+			case <-ctx.Done():
+				return cursor, ctx.Err()
+			case <-time.After(250 * time.Millisecond):
+			}
+		}
+	}
+}
+
+// watchOnce runs one SSE connection. final reports that the sweep ended.
+func (c *Client) watchOnce(ctx context.Context, id string, cursor int, fn func(Event)) (final bool, last int, err error) {
+	url := fmt.Sprintf("%s/v1/sweeps/%s/events?cursor=%d", c.Base, id, cursor)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return false, cursor, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return false, cursor, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return true, cursor, apiError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), maxRequestBytes)
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data: "):
+			data = []byte(strings.TrimPrefix(line, "data: "))
+		case line == "" && len(data) > 0:
+			var e Event
+			if err := json.Unmarshal(data, &e); err != nil {
+				return false, cursor, fmt.Errorf("client: bad event: %w", err)
+			}
+			data = nil
+			cursor = e.Seq
+			fn(e)
+			if e.Type == "done" || e.Type == "failed" {
+				return true, cursor, nil
+			}
+		}
+	}
+	return false, cursor, sc.Err()
+}
+
+// WaitDone watches until the sweep reaches a final state and returns its
+// status.
+func (c *Client) WaitDone(ctx context.Context, id string) (SweepStatus, error) {
+	if _, err := c.Watch(ctx, id, 0, func(Event) {}); err != nil {
+		return SweepStatus{}, err
+	}
+	return c.Status(id)
+}
+
+// Lease asks for a job; ok is false when none is available.
+func (c *Client) Lease(worker string) (LeaseGrant, bool, error) {
+	var g LeaseGrant
+	code, err := c.postJSON("/v1/lease", map[string]string{"worker": worker}, &g)
+	if err != nil {
+		return LeaseGrant{}, false, err
+	}
+	return g, code == http.StatusOK, nil
+}
+
+// Heartbeat extends a lease; ok false means it is gone and the worker
+// must abandon the job.
+func (c *Client) Heartbeat(leaseID string) (bool, error) {
+	code, err := c.postJSON("/v1/leases/"+leaseID+"/heartbeat", map[string]string{}, nil)
+	if code == http.StatusGone {
+		return false, nil
+	}
+	return err == nil, err
+}
+
+// Complete delivers a finished job's result.
+func (c *Client) Complete(leaseID string, res cluster.Result) error {
+	_, err := c.postJSON("/v1/leases/"+leaseID+"/complete", completeBody{Result: res}, nil)
+	return err
+}
+
+// Fail reports a failed job.
+func (c *Client) Fail(leaseID, msg string) error {
+	_, err := c.postJSON("/v1/leases/"+leaseID+"/fail", failBody{Error: msg}, nil)
+	return err
+}

@@ -1,0 +1,223 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ncap/internal/cluster"
+)
+
+// TestJournalRoundTrip: appended records replay in order with their
+// payloads intact, across a close/reopen.
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, recs, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	res := cluster.Result{Completed: 7, EnergyJ: 1.25}
+	for _, r := range []Record{
+		{Type: recSubmit, Sweep: "s000001", Request: []byte(`{"family":"e11"}`)},
+		{Type: recLease, Sweep: "s000001", Key: "k1", Worker: "local-0"},
+		{Type: recComplete, Sweep: "s000001", Key: "k1", Tag: "job-1", Result: &res},
+		{Type: recFail, Sweep: "s000001", Key: "k2", Error: "boom", Attempt: 3},
+		{Type: recDone, Sweep: "s000001"},
+	} {
+		if _, err := j.Append(r, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recs, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(recs) != 5 {
+		t.Fatalf("replayed %d records, want 5", len(recs))
+	}
+	if recs[2].Type != recComplete || recs[2].Result == nil || recs[2].Result.Completed != 7 {
+		t.Fatalf("complete record did not round-trip: %+v", recs[2])
+	}
+	if recs[3].Error != "boom" || recs[3].Attempt != 3 {
+		t.Fatalf("fail record did not round-trip: %+v", recs[3])
+	}
+	// Appending after reopen continues the sequence.
+	seq, err := j2.Append(Record{Type: recDrain, Pending: 2}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != recs[4].Seq+1 {
+		t.Fatalf("post-reopen seq = %d, want %d", seq, recs[4].Seq+1)
+	}
+}
+
+// TestJournalTornTail: a partial final line (the classic crash artifact)
+// is truncated on replay; every record before it survives, and appending
+// resumes cleanly.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := j.Append(Record{Type: recComplete, Sweep: "s1", Key: "k", Result: &cluster.Result{}}, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Abort()
+
+	// Tear the tail: chop the last 10 bytes mid-record.
+	seg := filepath.Join(dir, segName(1))
+	blob, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, blob[:len(blob)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recs, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatalf("torn tail must recover, got %v", err)
+	}
+	defer j2.Close()
+	if len(recs) != 2 {
+		t.Fatalf("recovered %d records, want 2 (third was torn)", len(recs))
+	}
+	// The truncated segment accepts appends on a clean boundary.
+	if _, err := j2.Append(Record{Type: recDrain}, true); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err = func() (*Journal, []Record, error) {
+		j2.Close()
+		return OpenJournal(dir)
+	}()
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("after truncate+append: %d records, err %v; want 3, nil", len(recs), err)
+	}
+}
+
+// TestJournalCorruptionInSealedSegment: damage in a non-final segment is
+// corruption, not a crash artifact, and refuses to replay.
+func TestJournalCorruptionInSealedSegment(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.segLimit = 256 // force rotation quickly
+	for i := 0; i < 20; i++ {
+		if _, err := j.Append(Record{Type: recComplete, Sweep: "s1", Key: "k", Result: &cluster.Result{}}, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.ncapj"))
+	if len(segs) < 2 {
+		t.Fatalf("expected rotation, got %d segments", len(segs))
+	}
+	// Flip a byte in the first (sealed) segment's payload.
+	blob, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 0xFF
+	if err := os.WriteFile(segs[0], blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenJournal(dir); err == nil {
+		t.Fatal("corrupted sealed segment replayed without error")
+	} else if !strings.Contains(err.Error(), "seg-") {
+		t.Fatalf("error does not name the segment: %v", err)
+	}
+}
+
+// TestJournalRotationPreservesOrder: records replay in sequence across
+// segment boundaries, and every segment after the first opens with its
+// own header.
+func TestJournalRotationPreservesOrder(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.segLimit = 256
+	const n = 30
+	for i := 0; i < n; i++ {
+		if _, err := j.Append(Record{Type: recComplete, Sweep: "s1", Key: "k", Attempt: i + 1, Result: &cluster.Result{}}, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, recs, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(recs) != n {
+		t.Fatalf("replayed %d records, want %d", len(recs), n)
+	}
+	for i, r := range recs {
+		if r.Attempt != i+1 {
+			t.Fatalf("record %d out of order: attempt %d", i, r.Attempt)
+		}
+		if i > 0 && r.Seq <= recs[i-1].Seq {
+			t.Fatalf("sequence not strictly increasing at %d: %d then %d", i, recs[i-1].Seq, r.Seq)
+		}
+	}
+}
+
+// TestJournalStrayFile: an unparseable file name in the journal directory
+// is an error, never silently skipped state.
+func TestJournalStrayFile(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if err := os.WriteFile(filepath.Join(dir, "seg-bogus.ncapj"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenJournal(dir); err == nil {
+		t.Fatal("stray segment file accepted")
+	}
+}
+
+// TestJournalAbortLosesOnlyTail: Abort (kill -9 stand-in) never damages
+// synced records.
+func TestJournalAbortLosesOnlyTail(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append(Record{Type: recSubmit, Sweep: "s1", Request: []byte(`{}`)}, true); err != nil {
+		t.Fatal(err)
+	}
+	j.Abort()
+	if _, err := j.Append(Record{Type: recDone, Sweep: "s1"}, true); err == nil {
+		t.Fatal("append after Abort succeeded")
+	}
+	_, recs, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Type != recSubmit {
+		t.Fatalf("replay after abort: %+v, want the synced submit only", recs)
+	}
+}

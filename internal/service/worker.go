@@ -1,0 +1,121 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"ncap/internal/cluster"
+	"ncap/internal/runner"
+)
+
+// WorkerOptions configures a remote worker process (ncapd -worker).
+type WorkerOptions struct {
+	// Name identifies the worker in leases and journals.
+	Name string
+	// CacheDir is the worker's local result cache; empty disables it.
+	CacheDir string
+	// Timeout is the per-simulation watchdog.
+	Timeout time.Duration
+	// Poll is the idle delay between lease attempts when the server has
+	// no work. Zero means 500ms.
+	Poll time.Duration
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// RunWorker joins a remote ncapd and processes leases until ctx is done:
+// lease, decode the config, simulate locally, heartbeat while running,
+// and post the result (or failure) back. A lease the server declares dead
+// mid-run is abandoned — the server has already re-queued the job, and
+// content-keyed results make the losing copy harmless even if it lands.
+func RunWorker(ctx context.Context, c *Client, opts WorkerOptions) error {
+	if opts.Name == "" {
+		opts.Name = "remote"
+	}
+	if opts.Poll <= 0 {
+		opts.Poll = 500 * time.Millisecond
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 10 * time.Minute
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	pool := runner.New(runner.Options{Jobs: 1, CacheDir: opts.CacheDir, Timeout: opts.Timeout})
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		grant, ok, err := c.Lease(opts.Name)
+		if err != nil {
+			opts.Logf("worker: lease: %v", err)
+			ok = false
+		}
+		if !ok {
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(opts.Poll):
+			}
+			continue
+		}
+		runLease(ctx, c, pool, grant, opts)
+	}
+}
+
+// runLease executes one granted job with a heartbeat loop alongside it.
+func runLease(ctx context.Context, c *Client, pool *runner.Pool, g LeaseGrant, opts WorkerOptions) {
+	var cfg cluster.Config
+	if err := json.Unmarshal(g.Config, &cfg); err != nil {
+		_ = c.Fail(g.LeaseID, fmt.Sprintf("worker: bad config: %v", err))
+		return
+	}
+	opts.Logf("worker: leased %s (%s)", g.Tag, g.Sweep)
+
+	ttl := time.Duration(g.TTLNs)
+	if ttl <= 0 {
+		ttl = 30 * time.Second
+	}
+	hbCtx, stopHB := context.WithCancel(ctx)
+	lost := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(ttl / 3)
+		defer tick.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-tick.C:
+				alive, err := c.Heartbeat(g.LeaseID)
+				if err == nil && !alive {
+					close(lost)
+					return
+				}
+				// Transient errors: keep trying; the TTL is the arbiter.
+			}
+		}
+	}()
+
+	oc := pool.RunOne(runner.Job{Tag: g.Tag, Config: cfg})
+	stopHB()
+	select {
+	case <-lost:
+		// The server gave up on this lease; the job is someone else's now.
+		opts.Logf("worker: lease %s expired mid-run, abandoning %s", g.LeaseID, g.Tag)
+		return
+	default:
+	}
+	if oc.Err != nil {
+		if err := c.Fail(g.LeaseID, oc.Err.Error()); err != nil {
+			opts.Logf("worker: fail report: %v", err)
+		}
+		return
+	}
+	if err := c.Complete(g.LeaseID, oc.Result); err != nil {
+		opts.Logf("worker: complete report: %v", err)
+		return
+	}
+	opts.Logf("worker: completed %s", g.Tag)
+}

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# service-crash-smoke.sh — end-to-end crash-recovery gate for ncapd.
+#
+#   1. Run an E11 sweep to completion on a clean server: the golden report.
+#   2. On a second server, submit the identical sweep, kill -9 the daemon
+#      once a few jobs have committed (but well before the sweep ends),
+#      restart it over the same state directory, and wait for the resumed
+#      sweep to finish.
+#   3. The resumed report must be byte-identical to the golden one.
+#
+# Usage: scripts/service-crash-smoke.sh [workdir]   (workdir is recreated)
+set -euo pipefail
+
+WORK=${1:-service-smoke}
+rm -rf "$WORK"
+mkdir -p "$WORK"
+BIN="$WORK/ncapd"
+go build -o "$BIN" ./cmd/ncapd
+
+ADDR_A=127.0.0.1:18791
+ADDR_B=127.0.0.1:18792
+# Windows sized so a single worker needs several seconds for the 21-job
+# sweep — a wide, reliable window to land the kill -9 in.
+SUBMIT=(-submit -family e11 -workload apache -warmup 100ms -measure 400ms -drain 100ms)
+JOBS=21 # 3 loss rates x 7 policies
+
+A_PID=""
+B_PID=""
+cleanup() {
+  [ -n "$A_PID" ] && kill -9 "$A_PID" 2>/dev/null || true
+  [ -n "$B_PID" ] && kill -9 "$B_PID" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+wait_healthy() { # addr
+  for _ in $(seq 1 100); do
+    if "$BIN" -addr "http://$1" -status >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "FAIL: server $1 never became healthy" >&2
+  return 1
+}
+
+completed() { # addr id -> committed job count
+  "$BIN" -addr "http://$1" -status -id "$2" 2>/dev/null |
+    sed -n 's/.*completed=\([0-9]*\).*/\1/p'
+}
+
+echo "== golden run (uninterrupted) =="
+"$BIN" -listen "$ADDR_A" -dir "$WORK/a" -workers 1 -q &
+A_PID=$!
+wait_healthy "$ADDR_A"
+"$BIN" -addr "http://$ADDR_A" "${SUBMIT[@]}" -wait -q -o "$WORK/golden.json"
+kill "$A_PID" && wait "$A_PID" 2>/dev/null || true
+A_PID=""
+
+echo "== crash run =="
+"$BIN" -listen "$ADDR_B" -dir "$WORK/b" -workers 1 -q &
+B_PID=$!
+wait_healthy "$ADDR_B"
+ID=$("$BIN" -addr "http://$ADDR_B" "${SUBMIT[@]}" -q)
+echo "submitted $ID"
+
+for _ in $(seq 1 400); do
+  n=$(completed "$ADDR_B" "$ID")
+  [ "${n:-0}" -ge 3 ] && break
+  sleep 0.05
+done
+n=$(completed "$ADDR_B" "$ID")
+n=${n:-0}
+if [ "$n" -lt 1 ]; then
+  echo "FAIL: no jobs committed before the crash point" >&2
+  exit 1
+fi
+if [ "$n" -ge "$JOBS" ]; then
+  echo "FAIL: sweep finished (completed=$n) before the crash point — nothing recovered" >&2
+  exit 1
+fi
+echo "kill -9 at completed=$n/$JOBS"
+kill -9 "$B_PID"
+wait "$B_PID" 2>/dev/null || true
+
+echo "== restart and resume =="
+"$BIN" -listen "$ADDR_B" -dir "$WORK/b" -workers 1 -q &
+B_PID=$!
+wait_healthy "$ADDR_B"
+"$BIN" -addr "http://$ADDR_B" -watch "$ID" -q > "$WORK/events.jsonl"
+"$BIN" -addr "http://$ADDR_B" -fetch "$ID" -o "$WORK/resumed.json"
+kill "$B_PID" && wait "$B_PID" 2>/dev/null || true
+B_PID=""
+
+cmp "$WORK/golden.json" "$WORK/resumed.json"
+echo "OK: resumed report is byte-identical to the uninterrupted run ($(wc -c < "$WORK/golden.json") bytes)"
